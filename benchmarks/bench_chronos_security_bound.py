@@ -1,0 +1,43 @@
+"""E3: the Chronos security bound ("20 years for 100 ms") and its collapse.
+
+Regenerates the expected-effort series: per-round success probability and
+expected years to shift the victim clock by 100 ms, across attacker pool
+fractions — including the exact post-attack composition of Figure 1
+(89 malicious of 133).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.effort import (
+    EffortRow,
+    ShiftEffortRow,
+    chronos_security_bound_table,
+    fraction_sweep_table,
+    shift_effort_table,
+)
+
+
+def run_tables():
+    return (chronos_security_bound_table(),
+            shift_effort_table(),
+            fraction_sweep_table(fractions=[i / 10 for i in range(0, 8)]))
+
+
+def test_chronos_security_bound(benchmark):
+    single_round, shift_100ms, sweep = benchmark.pedantic(run_tables, rounds=3, iterations=1)
+    lines = ["-- per-round control probability --", EffortRow.header()]
+    lines += [row.formatted() for row in single_round]
+    lines += ["", "-- expected effort to shift the clock by 100 ms --",
+              ShiftEffortRow.header()]
+    lines += [row.formatted() for row in shift_100ms]
+    lines += ["", "-- fine-grained sweep over attacker pool fraction --", EffortRow.header()]
+    lines += [row.formatted() for row in sweep]
+    emit("E3 — Chronos security bound before/after the DNS attack", lines)
+
+    by_scenario = {row.scenario: row for row in shift_100ms}
+    pre = by_scenario["MitM, just under 1/3 (Chronos bound)"]
+    post = by_scenario["After DNS pool attack (89 of 133)"]
+    assert pre.expected_years > 1.0          # years-to-decades regime (paper: ~20 years)
+    assert post.expected_years < 1e-3        # minutes-to-hours after the attack

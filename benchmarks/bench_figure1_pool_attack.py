@@ -1,0 +1,49 @@
+"""E1 (Figure 1): the full DNS-poisoning attack on the Chronos pool.
+
+Regenerates the figure's arithmetic — 4·11 = 44 benign vs 89 malicious
+addresses, a two-thirds attacker majority — both from the closed form and
+from the packet-level simulation, and reports the end-to-end time shift the
+attacker subsequently achieves.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.pool_composition import figure1_report
+from repro.attacks import ChronosPoolAttackScenario, PoolAttackConfig, analytic_pool_composition
+
+
+def run_figure1(poison_at_query: int = 3, seed: int = 7) -> dict:
+    scenario = ChronosPoolAttackScenario(PoolAttackConfig(seed=seed,
+                                                          poison_at_query=poison_at_query))
+    pool = scenario.run_pool_generation()
+    shift = scenario.run_time_shift(target_shift=600.0, update_rounds=5)
+    return {
+        "pool": pool,
+        "shift": shift,
+    }
+
+
+def test_figure1_pool_attack(benchmark):
+    result = benchmark.pedantic(run_figure1, rounds=3, iterations=1)
+    pool, shift = result["pool"], result["shift"]
+    analytic = analytic_pool_composition(12)
+    report = figure1_report(poison_at_query=3, seed=7)
+    emit("E1 / Figure 1 — DNS poisoning attack on the Chronos pool", [
+        f"paper arithmetic at crossover (query 12): "
+        f"{analytic.benign} benign vs {analytic.malicious} malicious "
+        f"(attacker fraction {analytic.malicious_fraction:.3f})",
+        f"simulated pool (poisoning at query 3):    "
+        f"{pool.composition.benign} benign vs {pool.composition.malicious} malicious "
+        f"(attacker fraction {pool.attacker_fraction:.3f})",
+        f"attacker >= 2/3 of pool:                  {pool.attack_succeeded}",
+        f"poisoned queries observed:                {pool.poisoned_queries[:3]}...",
+        f"generation queries answered from cache:   {pool.cache_hits_during_generation} of 24",
+        f"time shift achieved on victim clock:      {shift.achieved_error:.1f} s "
+        f"(target 600 s, panic rounds {shift.panic_rounds})",
+        f"cross-check via figure1_report():         "
+        f"simulated fraction {report['simulated_fraction']:.3f}",
+    ])
+    assert pool.attack_succeeded
+    assert shift.shift_achieved

@@ -1,0 +1,35 @@
+"""E2: attacker pool fraction versus the poisoned query index (crossover at 12)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.pool_composition import (
+    PoolCompositionRow,
+    analytic_sweep,
+    crossover_query_index,
+    simulated_composition,
+)
+
+
+def run_sweep():
+    analytic = analytic_sweep()
+    simulated = [simulated_composition(index, seed=4) for index in (1, 6, 12, 13, 18)]
+    return analytic, simulated
+
+
+def test_poison_query_sweep(benchmark):
+    analytic, simulated = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    crossover = crossover_query_index(analytic)
+    lines = [PoolCompositionRow.header()]
+    lines += [row.formatted() for row in analytic]
+    lines.append("-- packet-level spot checks --")
+    lines += [row.formatted() for row in simulated]
+    lines.append(f"latest poisoning index still yielding a 2/3 majority: {crossover} "
+                 "(paper: 12)")
+    emit("E2 — pool composition vs poisoned query index", lines)
+    assert crossover == 12
+    assert all(row.attacker_has_two_thirds for row in analytic
+               if row.poison_at_query is not None and row.poison_at_query <= 12)
+    assert all(not row.attacker_has_two_thirds for row in analytic
+               if row.poison_at_query is not None and row.poison_at_query > 12)

@@ -1,0 +1,30 @@
+"""E5: maximum number of A records per DNS response ("up to 89")."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.response_capacity import (
+    CapacityRow,
+    capacity_table,
+    paper_capacity_claim,
+    verify_capacity_by_encoding,
+)
+
+
+def run_capacity():
+    return capacity_table(), verify_capacity_by_encoding()
+
+
+def test_response_capacity(benchmark):
+    table, verification = benchmark.pedantic(run_capacity, rounds=5, iterations=1)
+    lines = [CapacityRow.header()]
+    lines += [row.formatted() for row in table]
+    lines.append(f"paper claim (non-fragmented response): {paper_capacity_claim()} A records "
+                 "(paper: 89)")
+    lines.append(f"encoder cross-check: {verification['record_count']} records encode to "
+                 f"{verification['encoded_size']} bytes; one more overflows: "
+                 f"{verification['one_more_overflows']}")
+    emit("E5 — A-record capacity of a single DNS response", lines)
+    assert paper_capacity_claim() == 89
+    assert verification["fits"] and verification["one_more_overflows"]

@@ -1,0 +1,50 @@
+"""E9: the shift actually achieved on the victim clock, across victims and targets."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.attacks import (
+    BaselineAttackConfig,
+    ChronosPoolAttackScenario,
+    PoolAttackConfig,
+    TraditionalClientAttackScenario,
+)
+
+TARGETS = (0.1, 600.0)  # the paper's 100 ms reference and a ten-minute shift
+
+
+def run_matrix():
+    rows = []
+    for target in TARGETS:
+        baseline = TraditionalClientAttackScenario(BaselineAttackConfig(seed=19)).run(target)
+        rows.append(("traditional NTP, poisoned lookup", target, baseline.achieved_error,
+                     baseline.attack_succeeded))
+
+        benign_chronos = ChronosPoolAttackScenario(PoolAttackConfig(seed=19, poison_at_query=None))
+        benign_chronos.run_pool_generation()
+        benign_shift = benign_chronos.run_time_shift(target, update_rounds=5)
+        rows.append(("Chronos, no DNS attack", target, benign_shift.achieved_error,
+                     benign_shift.shift_achieved))
+
+        attacked = ChronosPoolAttackScenario(PoolAttackConfig(seed=19, poison_at_query=2))
+        attacked.run_pool_generation()
+        attacked_shift = attacked.run_time_shift(target, update_rounds=6)
+        rows.append(("Chronos, pool attack at query 2", target, attacked_shift.achieved_error,
+                     attacked_shift.shift_achieved))
+    return rows
+
+
+def test_time_shift_end_to_end(benchmark):
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    lines = [f"{'victim':<36} {'target (s)':>11} {'achieved (s)':>13} {'shifted?':>9}"]
+    for victim, target, achieved, succeeded in rows:
+        lines.append(f"{victim:<36} {target:>11.3f} {achieved:>13.3f} {str(succeeded):>9}")
+    lines.append("(expected shape: both poisoned victims follow the attacker; "
+                 "un-attacked Chronos does not)")
+    emit("E9 — end-to-end time shift on the victim clock", lines)
+
+    outcomes = {(victim, target): succeeded for victim, target, _, succeeded in rows}
+    assert outcomes[("traditional NTP, poisoned lookup", 600.0)]
+    assert outcomes[("Chronos, pool attack at query 2", 600.0)]
+    assert not outcomes[("Chronos, no DNS attack", 600.0)]

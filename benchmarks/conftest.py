@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the rows/series behind one of the paper's
+experiments (see DESIGN.md, experiment index E1-E9) and prints them, so a
+``pytest benchmarks/ --benchmark-only -s`` run doubles as the reproduction
+report.  Printing goes through :func:`emit` so the output stays readable when
+pytest captures it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def emit(title: str, lines: Iterable[str]) -> None:
+    """Print one experiment block (title + rows)."""
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(line)

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: run a Chronos client in a benign simulated Internet.
+
+Builds the pool.ntp.org infrastructure (authoritative nameserver + volunteer
+NTP servers), a recursive resolver and a Chronos client; runs the 24-hour
+pool-generation phase and a few time updates with *no attacker present*, and
+reports the pool size and the client's clock error.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks import ChronosPoolAttackScenario, PoolAttackConfig
+
+
+def main() -> None:
+    # poison_at_query=None disables the attacker entirely; everything else is
+    # the default Figure-1 topology.
+    config = PoolAttackConfig(seed=42, poison_at_query=None)
+    scenario = ChronosPoolAttackScenario(config)
+
+    print("== Chronos pool generation (24 hourly DNS queries) ==")
+    result = scenario.run_pool_generation()
+    print(f"pool size:            {result.pool.size} servers")
+    print(f"benign / malicious:   {result.composition.benign} / {result.composition.malicious}")
+    print(f"queries issued:       {len(result.pool.queries)}")
+    print(f"answered from cache:  {result.cache_hits_during_generation}")
+
+    print("\n== Chronos time updates (no attacker) ==")
+    shift = scenario.run_time_shift(target_shift=0.0, update_rounds=6)
+    print(f"updates run:          {shift.updates_run}")
+    print(f"panic rounds:         {shift.panic_rounds}")
+    print(f"victim clock error:   {shift.achieved_error * 1000.0:.3f} ms")
+
+    applied = [f"{offset * 1000.0:.3f} ms" for offset in shift.applied_offsets]
+    print(f"applied offsets:      {applied}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""Experiment E8: the §V mitigations and the residual attack they leave.
+
+The paper suggests two changes to Chronos' pool generation:
+
+* accept **at most 4 addresses** from any single DNS response, and
+* **discard responses with high TTL values** (so a poisoned entry cannot
+  silently absorb the remaining hourly queries from cache).
+
+It then notes that even with both mitigations the dependency on DNS remains:
+an attacker able to keep the victim's DNS hijacked for the whole 24-hour
+window still controls every address in the pool.  This module evaluates all
+of that, both in closed form and on the packet-level scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..attacks.chronos_pool_attack import ChronosPoolAttackScenario, PoolAttackConfig
+from ..core.pool_generation import PoolComposition, PoolGenerationPolicy
+from ..dns.nameserver import POOL_RECORDS_PER_RESPONSE
+
+
+@dataclass(frozen=True)
+class MitigationRow:
+    """One row of the mitigation-evaluation table."""
+
+    scenario: str
+    benign: int
+    malicious: int
+    malicious_fraction: float
+    attacker_has_two_thirds: bool
+    mode: str
+
+    @staticmethod
+    def header() -> str:
+        return (f"{'scenario':<46} {'benign':>7} {'bad':>5} {'frac':>6} "
+                f"{'>=2/3':>6} {'mode':>10}")
+
+    def formatted(self) -> str:
+        return (f"{self.scenario:<46} {self.benign:>7} {self.malicious:>5} "
+                f"{self.malicious_fraction:>6.2f} {str(self.attacker_has_two_thirds):>6} "
+                f"{self.mode:>10}")
+
+
+def _row(scenario: str, composition: PoolComposition, mode: str) -> MitigationRow:
+    return MitigationRow(
+        scenario=scenario,
+        benign=composition.benign,
+        malicious=composition.malicious,
+        malicious_fraction=composition.malicious_fraction,
+        attacker_has_two_thirds=composition.attacker_has_two_thirds,
+        mode=mode,
+    )
+
+
+def analytic_mitigation_table(query_count: int = 24, poison_at_query: int = 1,
+                              attacker_records: int = 89,
+                              benign_per_response: int = POOL_RECORDS_PER_RESPONSE,
+                              ) -> List[MitigationRow]:
+    """Closed-form evaluation of each mitigation against a single poisoning.
+
+    * No mitigation: one poisoned response floods the pool (the §IV attack).
+    * Max-4-addresses alone: the poisoned response contributes only 4
+      addresses, but its huge TTL still starves the remaining queries from
+      cache — the pool stays tiny and attacker-dominated, so the cap alone is
+      *not* sufficient.
+    * TTL filter: the poisoned response is rejected outright; later queries
+      reach the benign servers again, so the attacker gains no pool members.
+    * Both mitigations plus a 24-hour hijack: every response during the whole
+      generation window is attacker-controlled, so the pool is 100 % malicious
+      regardless of the caps — the residual risk §V concedes.
+    """
+    rows: List[MitigationRow] = []
+
+    benign_before = (poison_at_query - 1) * benign_per_response
+
+    unmitigated = PoolComposition(benign=benign_before, malicious=attacker_records)
+    rows.append(_row("no mitigation, poisoning at query "
+                     f"{poison_at_query}", unmitigated, "analytic"))
+
+    # Record cap alone: the poisoned entry's >24 h TTL still absorbs every
+    # later query, so no further benign servers are added.
+    capped_malicious = min(attacker_records, benign_per_response)
+    benign_after = (query_count - poison_at_query) * benign_per_response
+    capped = PoolComposition(benign=benign_before, malicious=capped_malicious)
+    rows.append(_row("max 4 addresses per response (alone)", capped, "analytic"))
+
+    ttl_filtered = PoolComposition(benign=benign_before + benign_after, malicious=0)
+    rows.append(_row("high-TTL responses discarded", ttl_filtered, "analytic"))
+
+    # With both mitigations the TTL filter already rejects the poisoned
+    # response, so the record cap adds nothing for a single poisoning.
+    both = PoolComposition(benign=benign_before + benign_after, malicious=0)
+    rows.append(_row("both mitigations (single poisoning)", both, "analytic"))
+
+    full_hijack = PoolComposition(benign=0, malicious=query_count * benign_per_response)
+    rows.append(_row("both mitigations, 24h DNS hijack (residual)", full_hijack, "analytic"))
+    return rows
+
+
+def _simulated_composition(policy: PoolGenerationPolicy, poison_at_query: Optional[int],
+                           hijack_duration: float, seed: int,
+                           malicious_ttl: int = 2 * 86400) -> PoolComposition:
+    config = PoolAttackConfig(
+        seed=seed,
+        poison_at_query=poison_at_query,
+        pool_policy=policy,
+        hijack_duration=hijack_duration,
+        malicious_ttl=malicious_ttl,
+    )
+    scenario = ChronosPoolAttackScenario(config)
+    return scenario.run_pool_generation().composition
+
+
+def simulated_mitigation_table(poison_at_query: int = 1, seed: int = 1) -> List[MitigationRow]:
+    """Packet-level evaluation of the mitigations (slower, used by the bench)."""
+    rows: List[MitigationRow] = []
+    base_policy = PoolGenerationPolicy()
+    rows.append(_row("no mitigation, single poisoning",
+                     _simulated_composition(base_policy, poison_at_query, 600.0, seed),
+                     "simulated"))
+    capped = PoolGenerationPolicy(max_addresses_per_response=POOL_RECORDS_PER_RESPONSE)
+    rows.append(_row("max 4 addresses per response (alone)",
+                     _simulated_composition(capped, poison_at_query, 600.0, seed),
+                     "simulated"))
+    ttl_policy = PoolGenerationPolicy(max_accepted_ttl=3600)
+    rows.append(_row("high-TTL responses discarded",
+                     _simulated_composition(ttl_policy, poison_at_query, 600.0, seed),
+                     "simulated"))
+    both = PoolGenerationPolicy(max_addresses_per_response=POOL_RECORDS_PER_RESPONSE,
+                                max_accepted_ttl=3600)
+    rows.append(_row("both mitigations (single poisoning)",
+                     _simulated_composition(both, poison_at_query, 600.0, seed),
+                     "simulated"))
+    full_day = 24 * 3600.0 + 1200.0
+    rows.append(_row("both mitigations, 24h DNS hijack (residual)",
+                     _simulated_composition(both, 1, full_day, seed, malicious_ttl=300),
+                     "simulated"))
+    return rows

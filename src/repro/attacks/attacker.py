@@ -1,0 +1,147 @@
+"""Attacker models and shared attacker infrastructure.
+
+The paper's attacker is *off-path*: it cannot observe traffic between the
+victim resolver, the pool.ntp.org nameservers and the Chronos client, but it
+can
+
+* send packets with spoofed source addresses (fragment injection),
+* announce BGP prefixes it does not own (prefix hijack), and
+* operate its own infrastructure — NTP servers serving shifted time and a
+  nameserver that answers hijacked DNS queries with a flood of those servers'
+  addresses carrying a very large TTL.
+
+:class:`AttackerInfrastructure` builds that infrastructure inside the
+simulation and crafts the malicious DNS answer described in §IV: as many A
+records as fit in a single unfragmented response (89 for the pool.ntp.org
+question) with a TTL longer than the 24-hour pool-generation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..dns.message import MAX_UNFRAGMENTED_UDP_PAYLOAD, max_a_records_for_payload
+from ..dns.nameserver import AuthoritativeNameserver, DNS_PORT
+from ..dns.records import SECONDS_PER_DAY, ResourceRecord, a_record
+from ..dns.message import DNSMessage, ResponseCode
+from ..dns.records import RecordType
+from ..netsim.addresses import AddressAllocator
+from ..netsim.network import Network
+from ..netsim.packets import UDPDatagram
+from ..ntp.server import MaliciousNTPServer
+
+#: TTL the paper's attacker uses: anything comfortably above 24 hours keeps
+#: every later pool-generation query inside the cache.
+DEFAULT_MALICIOUS_TTL = 2 * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class AttackerCapabilities:
+    """Which capabilities a particular attacker instance is granted.
+
+    The defaults describe the paper's off-path attacker.  Experiments that
+    want to model weaker or stronger attackers (e.g. the pure MitM of the
+    original Chronos analysis) toggle these flags.
+    """
+
+    can_spoof_source: bool = True
+    can_hijack_bgp: bool = True
+    can_observe_victim_traffic: bool = False
+    controls_ntp_servers: bool = True
+
+
+class ImpersonatingNameserver(AuthoritativeNameserver):
+    """An attacker nameserver that answers with a forged source address.
+
+    After a BGP hijack the attacker receives queries addressed to the real
+    pool.ntp.org nameserver; it replies with its malicious record set while
+    spoofing the legitimate nameserver's address as the UDP source, so the
+    victim resolver's source-address check passes.
+    """
+
+    def __init__(self, network: Network, address: str, impersonated_address: str,
+                 zone_name: str, records: Sequence[ResourceRecord],
+                 name: Optional[str] = None) -> None:
+        super().__init__(network, address, zone={}, name=name or f"attacker-ns-{address}")
+        self.impersonated_address = impersonated_address
+        self.zone_name = zone_name
+        self.malicious_records = list(records)
+        self.hijacked_queries_answered = 0
+
+    def handle_datagram(self, datagram: UDPDatagram) -> None:
+        if datagram.dst_port != DNS_PORT:
+            return
+        try:
+            query = DNSMessage.decode(datagram.payload)
+        except Exception:
+            return
+        if query.is_response or query.question.qtype != RecordType.A:
+            return
+        self.queries_received += 1
+        answers = [ResourceRecord(name=query.question.name, rtype=RecordType.A,
+                                  ttl=record.ttl, rdata=record.rdata)
+                   for record in self.malicious_records]
+        response = query.make_response(answers)
+        self.hijacked_queries_answered += 1
+        self.responses_sent += 1
+        self.send_datagram(
+            UDPDatagram(
+                src_ip=self.impersonated_address,
+                dst_ip=datagram.src_ip,
+                src_port=DNS_PORT,
+                dst_port=datagram.src_port,
+                payload=response.encode(),
+            )
+        )
+
+
+@dataclass
+class AttackerInfrastructure:
+    """The attacker's own servers inside the simulation."""
+
+    network: Network
+    ntp_servers: List[MaliciousNTPServer] = field(default_factory=list)
+    nameserver: Optional[ImpersonatingNameserver] = None
+    malicious_ttl: int = DEFAULT_MALICIOUS_TTL
+    capabilities: AttackerCapabilities = field(default_factory=AttackerCapabilities)
+
+    @property
+    def ntp_addresses(self) -> List[str]:
+        return [server.address for server in self.ntp_servers]
+
+    def set_time_shift(self, shift_seconds: float) -> None:
+        """Make every attacker NTP server serve time shifted by ``shift_seconds``."""
+        for server in self.ntp_servers:
+            server.time_shift = shift_seconds
+
+    def malicious_answer_records(self, qname: str) -> List[ResourceRecord]:
+        """The A records the attacker injects for ``qname``."""
+        return [a_record(qname, address, self.malicious_ttl) for address in self.ntp_addresses]
+
+
+def build_attacker_infrastructure(network: Network, qname: str = "pool.ntp.org",
+                                  address_block: str = "198.51.100.0/24",
+                                  server_count: Optional[int] = None,
+                                  time_shift: float = 0.0,
+                                  malicious_ttl: int = DEFAULT_MALICIOUS_TTL,
+                                  capabilities: Optional[AttackerCapabilities] = None,
+                                  ) -> AttackerInfrastructure:
+    """Create the attacker's NTP servers (and nothing else yet).
+
+    ``server_count`` defaults to the maximum number of A records that fit in
+    a single unfragmented DNS response for ``qname`` — the 89 of §IV.
+    """
+    if server_count is None:
+        server_count = max_a_records_for_payload(qname, MAX_UNFRAGMENTED_UDP_PAYLOAD)
+    allocator = AddressAllocator(address_block)
+    servers = [
+        MaliciousNTPServer(network, allocator.allocate(), time_shift=time_shift)
+        for _ in range(server_count)
+    ]
+    return AttackerInfrastructure(
+        network=network,
+        ntp_servers=servers,
+        malicious_ttl=malicious_ttl,
+        capabilities=capabilities or AttackerCapabilities(),
+    )

@@ -1,0 +1,143 @@
+"""Baseline scenario: the DNS attack against a *traditional* NTP client.
+
+Used by experiments E6 and E9 to compare the paper's headline claim — that
+the DNS route makes Chronos easier to attack than plain NTP — in both
+directions:
+
+* the traditional client gives the attacker exactly **one** DNS query to
+  poison (its start-up resolution), but a success hands the attacker **all**
+  of the client's upstream servers;
+* Chronos gives the attacker up to **24** queries, any one of the first 12
+  sufficing for a two-thirds pool majority.
+
+The scenario mirrors :class:`repro.attacks.chronos_pool_attack.ChronosPoolAttackScenario`
+but drives a :class:`repro.ntp.client.TraditionalNTPClient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE, PoolNTPNameserver
+from ..dns.resolver import RecursiveResolver, ResolverPolicy
+from ..netsim.addresses import AddressAllocator
+from ..netsim.network import LinkProperties, Network
+from ..netsim.simulator import Simulator
+from ..ntp.client import TraditionalNTPClient
+from ..ntp.server import NTPServer
+from .attacker import AttackerInfrastructure, build_attacker_infrastructure
+from .bgp_hijack import BGPHijackPoisoner
+
+
+@dataclass
+class BaselineAttackConfig:
+    """Configuration of the traditional-client attack scenario."""
+
+    seed: int = 1
+    zone: str = "pool.ntp.org"
+    benign_server_count: int = 50
+    records_per_response: int = POOL_RECORDS_PER_RESPONSE
+    benign_ttl: int = POOL_NTP_ORG_TTL
+    #: Whether the attacker manages to poison the client's single start-up
+    #: DNS resolution (the one race it gets).
+    poison_startup_lookup: bool = True
+    #: Number of malicious servers the attacker advertises; the traditional
+    #: client only uses the first ``max_servers`` of them anyway.
+    attacker_record_count: int = 4
+    malicious_ttl: int = 2 * 86400
+    poll_interval: float = 64.0
+    max_servers: int = 4
+    latency: float = 0.01
+
+
+@dataclass
+class BaselineAttackResult:
+    """Outcome of the baseline attack."""
+
+    servers_used: List[str]
+    malicious_servers_used: int
+    target_shift: float
+    achieved_error: float
+    polls_run: int
+
+    @property
+    def attack_succeeded(self) -> bool:
+        if self.target_shift == 0:
+            return False
+        return abs(self.achieved_error) >= abs(self.target_shift) / 2
+
+
+class TraditionalClientAttackScenario:
+    """DNS poisoning followed by time shifting against a plain NTP client."""
+
+    def __init__(self, config: Optional[BaselineAttackConfig] = None) -> None:
+        self.config = config or BaselineAttackConfig()
+        self.simulator = Simulator(seed=self.config.seed)
+        self.network = Network(self.simulator,
+                               default_link=LinkProperties(latency=self.config.latency))
+        self._build()
+
+    def _build(self) -> None:
+        allocator = AddressAllocator("10.20.0.0/16")
+        self.benign_servers = [
+            NTPServer(self.network, allocator.allocate(),
+                      clock_error=self.simulator.rng.gauss(0.0, 0.005))
+            for _ in range(self.config.benign_server_count)
+        ]
+        self.nameserver = PoolNTPNameserver(
+            self.network,
+            "192.0.2.53",
+            zone_name=self.config.zone,
+            pool_servers=[server.address for server in self.benign_servers],
+            records_per_response=self.config.records_per_response,
+            ttl=self.config.benign_ttl,
+        )
+        self.resolver = RecursiveResolver(
+            self.network,
+            "192.0.2.1",
+            nameserver_map={self.config.zone: self.nameserver.address},
+            policy=ResolverPolicy(),
+        )
+        self.client = TraditionalNTPClient(
+            self.network,
+            "192.0.2.110",
+            resolver_address=self.resolver.address,
+            hostname=self.config.zone,
+            max_servers=self.config.max_servers,
+            poll_interval=self.config.poll_interval,
+        )
+        self.attacker: AttackerInfrastructure = build_attacker_infrastructure(
+            self.network,
+            qname=self.config.zone,
+            address_block="198.51.100.0/24",
+            server_count=self.config.attacker_record_count,
+            malicious_ttl=self.config.malicious_ttl,
+        )
+        self.hijacker = BGPHijackPoisoner(
+            self.network,
+            self.attacker,
+            target_nameserver=self.nameserver.address,
+            zone_name=self.config.zone,
+            attacker_nameserver_address="198.51.100.254",
+        )
+
+    def run(self, target_shift: float, poll_rounds: int = 4) -> BaselineAttackResult:
+        """Run the start-up resolution (poisoned or not) and ``poll_rounds`` polls."""
+        if self.config.poison_startup_lookup:
+            # The attacker wins the single race: the hijack is active exactly
+            # when the client resolves the pool name at start-up.
+            self.hijacker.announce()
+            self.simulator.schedule(30.0, self.hijacker.withdraw)
+        self.attacker.set_time_shift(target_shift)
+        self.client.start()
+        self.simulator.run_for(poll_rounds * self.config.poll_interval + 30.0)
+        malicious = set(self.attacker.ntp_addresses)
+        used = list(self.client.servers)
+        return BaselineAttackResult(
+            servers_used=used,
+            malicious_servers_used=sum(1 for server in used if server in malicious),
+            target_shift=target_shift,
+            achieved_error=self.client.clock.error,
+            polls_run=len(self.client.poll_history),
+        )

@@ -1,0 +1,97 @@
+"""DNS cache poisoning via BGP prefix hijacking.
+
+One of the two poisoning vectors the paper lists (§II).  The attacker
+announces a more-specific prefix covering the pool.ntp.org nameserver; while
+the hijack is active, the victim resolver's queries are delivered to the
+attacker, who answers with its malicious record set while spoofing the
+legitimate nameserver's source address.  From the resolver's point of view
+everything checks out — transaction id, port, question, source address — and
+the forged records (many addresses, huge TTL) enter the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dns.records import RecordType
+from ..dns.resolver import RecursiveResolver
+from ..netsim.network import Network
+from .attacker import AttackerInfrastructure, ImpersonatingNameserver
+
+
+@dataclass
+class HijackWindow:
+    """Record of one hijack interval for experiment reporting."""
+
+    announced_at: float
+    withdrawn_at: Optional[float] = None
+
+
+class BGPHijackPoisoner:
+    """Poison a resolver's cache for a zone by hijacking its nameserver prefix."""
+
+    def __init__(self, network: Network, attacker: AttackerInfrastructure,
+                 target_nameserver: str, zone_name: str = "pool.ntp.org",
+                 attacker_nameserver_address: str = "198.51.100.253") -> None:
+        self.network = network
+        self.attacker = attacker
+        self.target_nameserver = target_nameserver
+        self.zone_name = zone_name
+        self.windows: List[HijackWindow] = []
+        self._active = False
+        records = attacker.malicious_answer_records(zone_name)
+        self.nameserver = ImpersonatingNameserver(
+            network,
+            attacker_nameserver_address,
+            impersonated_address=target_nameserver,
+            zone_name=zone_name,
+            records=records,
+        )
+        attacker.nameserver = self.nameserver
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def hijack_prefix(self) -> str:
+        """The more-specific prefix (/32 here) covering the target nameserver."""
+        return f"{self.target_nameserver}/32"
+
+    def announce(self) -> None:
+        """Start the hijack: divert the nameserver's traffic to the attacker."""
+        if self._active:
+            return
+        if not self.attacker.capabilities.can_hijack_bgp:
+            raise PermissionError("attacker model does not include BGP hijacking")
+        self.network.routing_table.announce(self.hijack_prefix(), self.nameserver.address,
+                                            legitimate=False)
+        self.windows.append(HijackWindow(announced_at=self.network.simulator.now))
+        self._active = True
+
+    def withdraw(self) -> None:
+        """Stop the hijack and restore normal routing."""
+        if not self._active:
+            return
+        self.network.routing_table.withdraw(self.hijack_prefix(), self.nameserver.address)
+        self.windows[-1].withdrawn_at = self.network.simulator.now
+        self._active = False
+
+    def schedule_window(self, start_in: float, duration: float) -> None:
+        """Announce after ``start_in`` seconds and withdraw ``duration`` later.
+
+        Used by the experiments to land the hijack exactly around the k-th
+        pool-generation query (E1/E2) or to hold it for a full 24 hours
+        (the §V residual attack, E8).
+        """
+        simulator = self.network.simulator
+        simulator.schedule(start_in, self.announce)
+        simulator.schedule(start_in + duration, self.withdraw)
+
+    def poisoning_succeeded(self, resolver: RecursiveResolver) -> bool:
+        """Whether the resolver currently caches attacker addresses for the zone."""
+        entry = resolver.cache.peek(self.zone_name, RecordType.A)
+        if entry is None:
+            return False
+        attacker_addresses = set(self.attacker.ntp_addresses)
+        return any(record.rdata in attacker_addresses for record in entry.records)

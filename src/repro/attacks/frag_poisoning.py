@@ -1,0 +1,230 @@
+"""DNS cache poisoning via IPv4 defragmentation-cache injection.
+
+The second poisoning vector the paper lists (§II.A), following Herzberg &
+Shulman's "Fragmentation Considered Poisonous".  The attacker:
+
+1. chooses a nameserver that fragments its responses (the companion
+   measurement [3] found 16 of 30 pool.ntp.org nameservers willing to
+   fragment down to a 548-byte MTU, none of them serving DNSSEC);
+2. predicts the nameserver's IPv4 identification value (many stacks use
+   sequential IP-IDs) and plants spoofed *second* fragments — one per
+   candidate IP-ID — in the victim resolver's reassembly buffer;
+3. triggers the DNS query (directly, or via a third party such as an SMTP
+   server sharing the resolver — see :mod:`repro.attacks.query_trigger`);
+4. the genuine first fragment (carrying the UDP/DNS headers, transaction id
+   and port) is reassembled with the attacker's tail, so all of the
+   resolver's off-path defences pass while the answer records — and their
+   TTL — are the attacker's.
+
+The splice is performed on real wire bytes: the attacker forges a complete
+response with the same question and record layout as the benign one, encodes
+it, and injects the bytes beyond the fragmentation boundary.  Because A
+records have a fixed encoded size, the spliced message parses correctly and
+differs from the benign response exactly in the records (and TTLs) that lie
+in the trailing fragment(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..dns.message import DNSMessage
+from ..dns.nameserver import DNS_PORT, PoolNTPNameserver
+from ..dns.records import ResourceRecord, a_record
+from ..dns.resolver import RecursiveResolver
+from ..netsim.fragmentation import fragment_datagram
+from ..netsim.network import Network
+from ..netsim.packets import IPPacket, IPV4_HEADER_SIZE, UDPDatagram, udp_checksum
+from .attacker import AttackerInfrastructure
+
+
+@dataclass(frozen=True)
+class FragmentationAttackConditions:
+    """Feasibility conditions of the fragmentation vector for one target pair.
+
+    These are exactly the properties the companion study measured for
+    pool.ntp.org nameservers and for resolvers in the wild; the measurement
+    module re-uses this class when computing the §II statistics.
+    """
+
+    #: Smallest MTU the nameserver is willing to fragment responses to.
+    nameserver_min_mtu: int
+    #: Whether the nameserver serves DNSSEC-signed responses (signed data
+    #: would let a validating resolver detect the forgery).
+    nameserver_has_dnssec: bool
+    #: Whether the resolver accepts and reassembles fragmented responses.
+    resolver_accepts_fragments: bool
+    #: Smallest fragment size the resolver accepts (68 is the IPv4 minimum).
+    resolver_min_fragment_mtu: int = 68
+    #: Whether the resolver validates DNSSEC.
+    resolver_validates_dnssec: bool = False
+    #: Size of the response the attacker can trigger, in bytes.
+    response_size: int = 1200
+
+    def response_fragments(self) -> bool:
+        """Does the triggered response actually exceed the usable MTU?"""
+        return self.response_size + 28 > self.nameserver_min_mtu
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the vector can work at all against this pair."""
+        if not self.resolver_accepts_fragments:
+            return False
+        if self.nameserver_has_dnssec and self.resolver_validates_dnssec:
+            return False
+        if not self.response_fragments():
+            return False
+        return self.nameserver_min_mtu >= self.resolver_min_fragment_mtu
+
+
+@dataclass
+class FragmentationAttackReport:
+    """What happened during one poisoning attempt."""
+
+    planted_fragments: int = 0
+    ipid_hit: bool = False
+    checksum_valid: bool = False
+    cache_poisoned: bool = False
+    injected_addresses: List[str] = field(default_factory=list)
+
+
+class FragmentationPoisoner:
+    """Executes the defragmentation-poisoning attack inside the simulation."""
+
+    def __init__(self, network: Network, attacker: AttackerInfrastructure,
+                 resolver: RecursiveResolver, nameserver: PoolNTPNameserver,
+                 zone_name: str = "pool.ntp.org",
+                 ipid_window: int = 16,
+                 checksum_oracle: bool = True) -> None:
+        self.network = network
+        self.attacker = attacker
+        self.resolver = resolver
+        self.nameserver = nameserver
+        self.zone_name = zone_name
+        #: How many consecutive IP-ID values the attacker covers with planted
+        #: fragments.  Sequential-IP-ID stacks make a small window sufficient.
+        self.ipid_window = ipid_window
+        #: When True the attacker crafts its forged records so that the UDP
+        #: checksum of the spliced datagram still validates (the published
+        #: attack does this by choosing record contents whose checksum
+        #: contribution matches); when False the splice is detected by the
+        #: checksum and the poisoning fails.
+        self.checksum_oracle = checksum_oracle
+        self.reports: List[FragmentationAttackReport] = []
+
+    # -- crafting ----------------------------------------------------------------
+    def _forged_response_like(self, benign: DNSMessage) -> DNSMessage:
+        """Forge a response with the benign response's shape but attacker data.
+
+        The record count is preserved (it lives in the header, inside the
+        first — genuine — fragment); the attacker substitutes its own server
+        addresses and a high TTL for every record position it can reach.
+        """
+        count = len(benign.answers)
+        addresses = self.attacker.ntp_addresses[:count]
+        answers = [a_record(benign.question.name, address, self.attacker.malicious_ttl)
+                   for address in addresses]
+        # Pad with repeats if the attacker has fewer servers than positions.
+        while len(answers) < count:
+            answers.append(a_record(benign.question.name, addresses[-1], self.attacker.malicious_ttl))
+        return benign.make_response(answers)
+
+    def craft_spoofed_fragments(self, benign_response: DNSMessage, udp_src_port: int,
+                                udp_dst_port: int, ip_id: int,
+                                mtu: Optional[int] = None) -> List[IPPacket]:
+        """Build the spoofed trailing fragments for one predicted IP-ID."""
+        mtu = mtu or self.nameserver.min_supported_mtu
+        forged = self._forged_response_like(benign_response)
+        forged_datagram = UDPDatagram(
+            src_ip=self.nameserver.address,
+            dst_ip=self.resolver.address,
+            src_port=udp_src_port,
+            dst_port=udp_dst_port,
+            payload=forged.encode(),
+        )
+        fragments = fragment_datagram(forged_datagram, ip_id=ip_id, mtu=mtu)
+        spoofed = [
+            IPPacket(
+                src_ip=fragment.src_ip,
+                dst_ip=fragment.dst_ip,
+                ip_id=fragment.ip_id,
+                payload=fragment.payload,
+                fragment_offset=fragment.fragment_offset,
+                more_fragments=fragment.more_fragments,
+                spoofed=True,
+                # The published attack keeps the UDP checksum of the spliced
+                # datagram valid by choosing record contents with the same
+                # checksum contribution; the oracle flag models that step.
+                checksum_compensated=self.checksum_oracle,
+            )
+            for fragment in fragments
+            if not fragment.first_fragment()
+        ]
+        return spoofed
+
+    # -- executing ----------------------------------------------------------------
+    def plant_fragments(self, expected_response: DNSMessage, udp_src_port: int = DNS_PORT,
+                        udp_dst_port: int = 33333,
+                        starting_ipid: Optional[int] = None) -> FragmentationAttackReport:
+        """Inject spoofed fragments covering the predicted IP-ID window.
+
+        ``expected_response`` is the attacker's model of the benign response
+        (same question, same record count); off-path it cannot see the real
+        one, but pool.ntp.org's answer shape is public knowledge.
+        """
+        report = FragmentationAttackReport()
+        if starting_ipid is None:
+            # Sequential-IP-ID prediction: the attacker probes the nameserver
+            # from its own vantage point and extrapolates the next values.
+            starting_ipid = self._predict_next_ipid()
+        for ip_id in range(starting_ipid, starting_ipid + self.ipid_window):
+            fragments = self.craft_spoofed_fragments(expected_response, udp_src_port,
+                                                     udp_dst_port, ip_id & 0xFFFF)
+            for fragment in fragments:
+                self.network.inject(fragment)
+                report.planted_fragments += 1
+        report.injected_addresses = self.attacker.ntp_addresses[: len(expected_response.answers)]
+        self.reports.append(report)
+        return report
+
+    def _predict_next_ipid(self) -> int:
+        """Predict the nameserver's next IP-ID (sequential-counter model).
+
+        The simulation's network assigns sequential per-source IP-IDs, so the
+        prediction is simply "current counter + 1"; the prediction *window*
+        models the uncertainty from other traffic the nameserver serves.
+        """
+        counter = self.network._next_ip_id.get(self.nameserver.address, 1)
+        return counter
+
+    def verify_poisoning(self) -> bool:
+        """Check whether the resolver now caches attacker addresses for the zone."""
+        from ..dns.records import RecordType
+
+        entry = self.resolver.cache.peek(self.zone_name, RecordType.A)
+        if entry is None:
+            return False
+        attacker_addresses = set(self.attacker.ntp_addresses)
+        poisoned = any(record.rdata in attacker_addresses for record in entry.records)
+        if self.reports:
+            self.reports[-1].cache_poisoned = poisoned
+        return poisoned
+
+
+def fragmentation_attack_success_probability(conditions: FragmentationAttackConditions,
+                                              ipid_window: int = 16,
+                                              ipid_space: int = 65536,
+                                              ipid_predictable: bool = True,
+                                              attempts: int = 1) -> float:
+    """Analytic success probability of the fragmentation vector.
+
+    Used for the E7 sweep: infeasible pairs score zero; feasible pairs with a
+    predictable (sequential) IP-ID succeed essentially always; feasible pairs
+    with randomised IP-IDs succeed with probability ``window / 65536`` per
+    attempt.
+    """
+    if not conditions.feasible:
+        return 0.0
+    per_attempt = 1.0 if ipid_predictable else min(1.0, ipid_window / ipid_space)
+    return 1.0 - (1.0 - per_attempt) ** max(attempts, 1)

@@ -1,0 +1,114 @@
+"""Time-shifting attacks executed on top of a compromised (or benign) setup.
+
+Once the attacker's addresses are in the victim's server set — the entire set
+for a traditional client whose single DNS lookup was poisoned, or a two-thirds
+pool majority for Chronos after the §IV pool attack — the actual time shift is
+delivered by ordinary NTP responses carrying shifted timestamps.  These
+helpers configure the attacker servers and run the victim's update loop so
+experiments can measure the shift actually achieved on the victim clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.chronos_client import ChronosClient
+from ..core.selection import ChronosConfig, chronos_select, panic_select
+from ..ntp.client import TraditionalNTPClient
+from ..ntp.selection import ntpd_select
+from ..ntp.query import TimeSample
+from .attacker import AttackerInfrastructure
+
+
+@dataclass(frozen=True)
+class ShiftOutcome:
+    """Result of a time-shift attempt against a victim client."""
+
+    victim: str
+    target_shift: float
+    achieved_error: float
+    updates: int
+
+    @property
+    def succeeded(self) -> bool:
+        if self.target_shift == 0:
+            return False
+        return abs(self.achieved_error) >= abs(self.target_shift) / 2
+
+
+def shift_traditional_client(client: TraditionalNTPClient, attacker: AttackerInfrastructure,
+                             target_shift: float, rounds: int = 4) -> ShiftOutcome:
+    """Run a traditional client for ``rounds`` polls with attacker servers shifted."""
+    attacker.set_time_shift(target_shift)
+    simulator = client.network.simulator
+    if not client.started:
+        client.start()
+    simulator.run_for(rounds * client.poll_interval + 30.0)
+    return ShiftOutcome(
+        victim="traditional-ntp",
+        target_shift=target_shift,
+        achieved_error=client.clock.error,
+        updates=len(client.poll_history),
+    )
+
+
+def shift_chronos_client(client: ChronosClient, attacker: AttackerInfrastructure,
+                         target_shift: float, rounds: int = 8) -> ShiftOutcome:
+    """Run a Chronos client for ``rounds`` update intervals under attack."""
+    attacker.set_time_shift(target_shift)
+    simulator = client.network.simulator
+    if client.pool is None:
+        raise RuntimeError("Chronos client has no pool; run pool generation first")
+    client.begin_updates()
+    simulator.run_for(rounds * client.config.poll_interval + 30.0)
+    return ShiftOutcome(
+        victim="chronos",
+        target_shift=target_shift,
+        achieved_error=client.clock.error,
+        updates=len(client.update_history),
+    )
+
+
+@dataclass(frozen=True)
+class OfflineShiftModel:
+    """Closed-form model of a single update round under a given sample mix.
+
+    Used by analyses that do not need the packet-level simulation: given how
+    many of the sampled servers are malicious and what shift they report,
+    what offset does the victim's algorithm adopt?
+    """
+
+    sample_size: int
+    malicious_samples: int
+    shift: float
+    honest_jitter: float = 0.001
+
+
+def chronos_round_offset(model: OfflineShiftModel, config: Optional[ChronosConfig] = None,
+                         enforce_checks: bool = False) -> Optional[float]:
+    """Offset a Chronos round adopts for the given sample mix (None = rejected)."""
+    config = config or ChronosConfig(sample_size=model.sample_size)
+    honest = model.sample_size - model.malicious_samples
+    offsets = [model.honest_jitter * ((i % 3) - 1) for i in range(honest)]
+    offsets += [model.shift] * model.malicious_samples
+    result = chronos_select(offsets, config) if enforce_checks else \
+        chronos_select(offsets, config, enforce_checks=False)
+    return result.offset if result.accepted else None
+
+
+def ntpd_round_offset(model: OfflineShiftModel) -> Optional[float]:
+    """Offset the baseline ntpd pipeline adopts for the given sample mix."""
+    samples: List[TimeSample] = []
+    honest = model.sample_size - model.malicious_samples
+    for index in range(honest):
+        samples.append(TimeSample(server=f"honest-{index}",
+                                  offset=model.honest_jitter * ((index % 3) - 1),
+                                  delay=0.02, stratum=2, root_dispersion=0.01,
+                                  completed_at=0.0))
+    for index in range(model.malicious_samples):
+        samples.append(TimeSample(server=f"evil-{index}", offset=model.shift,
+                                  delay=0.02, stratum=2, root_dispersion=0.01,
+                                  completed_at=0.0))
+    result = ntpd_select(samples)
+    return result.offset if result.succeeded else None

@@ -1,0 +1,101 @@
+"""Third-party DNS query triggering.
+
+The paper (§II.A) observes that resolvers are typically *shared*: the
+attacker does not need the Chronos client itself to issue the pool.ntp.org
+query at a convenient moment — it can make some other system that uses the
+same resolver look the name up (the companion study found 14 % of web-client
+resolvers reachable this way via SMTP servers or open resolvers).  Triggering
+matters for the fragmentation vector, where the attacker wants to plant
+spoofed fragments immediately before a query it knows is coming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dns.nameserver import DNS_PORT
+from ..dns.resolver import DNSStub, RecursiveResolver
+from ..netsim.network import Host, Network
+from ..netsim.packets import UDPDatagram
+
+SMTP_PORT = 25
+
+
+@dataclass
+class TriggerRecord:
+    """One triggered lookup, for reporting."""
+
+    via: str
+    name: str
+    triggered_at: float
+
+
+class SMTPTriggerServer(Host):
+    """A mail server that resolves the domain of any envelope it receives.
+
+    The attacker sends an e-mail whose recipient domain is ``pool.ntp.org``
+    (or embeds the name in a way the MTA resolves); the MTA's lookup goes
+    through the shared resolver, giving the attacker a query to race.
+    """
+
+    def __init__(self, network: Network, address: str, resolver_address: str,
+                 name: Optional[str] = None) -> None:
+        super().__init__(network, address, name=name or f"smtp-{address}")
+        self.dns = DNSStub(self, resolver_address)
+        self.triggers: List[TriggerRecord] = []
+
+    def handle_datagram(self, datagram: UDPDatagram) -> None:
+        if self.dns.handle_datagram(datagram):
+            return
+        if datagram.dst_port != SMTP_PORT:
+            return
+        domain = datagram.payload.decode("ascii", errors="ignore").strip()
+        if not domain:
+            return
+        self.triggers.append(TriggerRecord(via="smtp", name=domain,
+                                           triggered_at=self.network.simulator.now))
+        self.dns.lookup(domain, lambda addresses: None)
+
+
+class QueryTrigger:
+    """Attacker-side helper that fires resolver queries via available avenues."""
+
+    def __init__(self, network: Network, resolver: RecursiveResolver,
+                 smtp_server: Optional[SMTPTriggerServer] = None,
+                 attacker_address: str = "198.51.100.250") -> None:
+        self.network = network
+        self.resolver = resolver
+        self.smtp_server = smtp_server
+        self.attacker_address = attacker_address
+        self.records: List[TriggerRecord] = []
+
+    def trigger_via_open_resolver(self, name: str) -> bool:
+        """Query the resolver directly; works only if it is an open resolver."""
+        if not self.resolver.policy.open_resolver:
+            return False
+        self.resolver.trigger_lookup(name)
+        self.records.append(TriggerRecord(via="open-resolver", name=name,
+                                          triggered_at=self.network.simulator.now))
+        return True
+
+    def trigger_via_smtp(self, name: str) -> bool:
+        """Send a message to the SMTP server naming the target domain."""
+        if self.smtp_server is None:
+            return False
+        self.network.send_datagram(
+            UDPDatagram(
+                src_ip=self.attacker_address,
+                dst_ip=self.smtp_server.address,
+                src_port=40000,
+                dst_port=SMTP_PORT,
+                payload=name.encode("ascii"),
+            )
+        )
+        self.records.append(TriggerRecord(via="smtp", name=name,
+                                          triggered_at=self.network.simulator.now))
+        return True
+
+    def trigger(self, name: str) -> bool:
+        """Use whichever avenue is available (open resolver first, then SMTP)."""
+        return self.trigger_via_open_resolver(name) or self.trigger_via_smtp(name)

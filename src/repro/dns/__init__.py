@@ -1,0 +1,69 @@
+"""DNS substrate: wire format, records, messages, caching resolver, nameservers."""
+
+from .cache import CacheEntry, CacheStats, DNSCache
+from .message import (
+    CLASSIC_UDP_LIMIT,
+    COMPRESSED_A_RECORD_SIZE,
+    DNS_HEADER_SIZE,
+    MAX_UNFRAGMENTED_UDP_PAYLOAD,
+    OPT_RECORD_SIZE,
+    DNSMessage,
+    Opcode,
+    Question,
+    ResponseCode,
+    max_a_records_for_payload,
+    response_size_for_a_records,
+)
+from .nameserver import (
+    DNS_PORT,
+    POOL_NTP_ORG_TTL,
+    POOL_RECORDS_PER_RESPONSE,
+    AuthoritativeNameserver,
+    PoolNTPNameserver,
+)
+from .records import (
+    SECONDS_PER_DAY,
+    RecordClass,
+    RecordType,
+    ResourceRecord,
+    a_record,
+    opt_record,
+)
+from .resolver import DNSStub, PendingUpstreamQuery, RecursiveResolver, ResolverPolicy
+from .wire import WireFormatError, decode_name, encode_name, normalise_name
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "DNSCache",
+    "CLASSIC_UDP_LIMIT",
+    "COMPRESSED_A_RECORD_SIZE",
+    "DNS_HEADER_SIZE",
+    "MAX_UNFRAGMENTED_UDP_PAYLOAD",
+    "OPT_RECORD_SIZE",
+    "DNSMessage",
+    "Opcode",
+    "Question",
+    "ResponseCode",
+    "max_a_records_for_payload",
+    "response_size_for_a_records",
+    "DNS_PORT",
+    "POOL_NTP_ORG_TTL",
+    "POOL_RECORDS_PER_RESPONSE",
+    "AuthoritativeNameserver",
+    "PoolNTPNameserver",
+    "SECONDS_PER_DAY",
+    "RecordClass",
+    "RecordType",
+    "ResourceRecord",
+    "a_record",
+    "opt_record",
+    "DNSStub",
+    "PendingUpstreamQuery",
+    "RecursiveResolver",
+    "ResolverPolicy",
+    "WireFormatError",
+    "decode_name",
+    "encode_name",
+    "normalise_name",
+]

@@ -1,0 +1,121 @@
+"""A TTL-driven DNS cache.
+
+The cache is the piece of DNS state the whole attack pivots on.  The paper's
+observation (§IV) is that the attacker sets the TTL of the poisoned records
+*above 24 hours*, so that every one of Chronos' subsequent hourly pool
+queries is answered from the resolver's cache — the benign nameservers never
+get another chance to contribute servers to the pool.
+
+The cache therefore tracks, per entry, the simulated insertion time, the
+original TTL and whether the entry was produced by a poisoned response, so
+experiments can report exactly which pool members were attacker-controlled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .records import RecordType, ResourceRecord
+from .wire import normalise_name
+
+
+@dataclass
+class CacheEntry:
+    """All records cached for one (name, type) key, from one response."""
+
+    records: List[ResourceRecord]
+    inserted_at: float
+    ttl: int
+    poisoned: bool = False
+
+    def expires_at(self) -> float:
+        return self.inserted_at + self.ttl
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at()
+
+    def remaining_ttl(self, now: float) -> int:
+        return max(0, int(self.expires_at() - now))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/poisoning counters for experiment reporting."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    poisoned_insertions: int = 0
+    expirations: int = 0
+
+
+class DNSCache:
+    """A per-resolver cache keyed by (normalised name, record type).
+
+    ``max_ttl`` models the TTL cap some resolvers apply (and one of the
+    mitigations §V discusses for Chronos itself — a cap below 24 h removes
+    the "answer everything from cache" amplification).
+    """
+
+    def __init__(self, max_ttl: Optional[int] = None, min_ttl: int = 0) -> None:
+        self.max_ttl = max_ttl
+        self.min_ttl = min_ttl
+        self._entries: Dict[Tuple[str, RecordType], CacheEntry] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, name: str, rtype: RecordType) -> Tuple[str, RecordType]:
+        return (normalise_name(name), rtype)
+
+    def insert(self, name: str, rtype: RecordType, records: List[ResourceRecord],
+               now: float, poisoned: bool = False) -> CacheEntry:
+        """Cache the records of one response under (name, rtype).
+
+        The entry TTL is the minimum record TTL, clamped to [min_ttl, max_ttl].
+        """
+        if not records:
+            raise ValueError("cannot cache an empty record set")
+        ttl = min(record.ttl for record in records)
+        if self.max_ttl is not None:
+            ttl = min(ttl, self.max_ttl)
+        ttl = max(ttl, self.min_ttl)
+        entry = CacheEntry(records=list(records), inserted_at=now, ttl=ttl, poisoned=poisoned)
+        self._entries[self._key(name, rtype)] = entry
+        self.stats.insertions += 1
+        if poisoned:
+            self.stats.poisoned_insertions += 1
+        return entry
+
+    def lookup(self, name: str, rtype: RecordType, now: float) -> Optional[CacheEntry]:
+        """Return the live entry for (name, rtype), or ``None`` on miss/expiry."""
+        key = self._key(name, rtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.is_expired(now):
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, name: str, rtype: RecordType) -> Optional[CacheEntry]:
+        """Return the entry without affecting statistics or expiring it."""
+        return self._entries.get(self._key(name, rtype))
+
+    def flush(self) -> None:
+        """Drop every entry (resolver restart)."""
+        self._entries.clear()
+
+    def evict(self, name: str, rtype: RecordType) -> None:
+        """Remove one entry if present."""
+        self._entries.pop(self._key(name, rtype), None)
+
+    def poisoned_names(self) -> List[str]:
+        """Names currently served from poisoned entries."""
+        return [name for (name, _), entry in self._entries.items() if entry.poisoned]

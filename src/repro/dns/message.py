@@ -1,0 +1,243 @@
+"""DNS messages: header, question, sections, and full wire encode/decode.
+
+The encoder implements name compression, so the size of a response carrying
+``n`` A records for the same owner name matches real DNS: 12 bytes of header,
+one question, ``n`` sixteen-byte answer records (2-byte name pointer + type +
+class + TTL + RDLENGTH + 4 address bytes) and an 11-byte EDNS OPT record.
+:func:`max_a_records_for_payload` inverts that layout to compute how many A
+records fit under a payload budget — the paper's "up to 89 for a single
+non-fragmented DNS response".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from .records import RecordClass, RecordType, ResourceRecord, opt_record
+from .wire import (
+    WireFormatError,
+    decode_name,
+    encode_name,
+    normalise_name,
+    pack_uint16,
+    unpack_uint16,
+)
+
+DNS_HEADER_SIZE = 12
+#: Classic maximum UDP payload without EDNS.
+CLASSIC_UDP_LIMIT = 512
+#: UDP payload that fits in a single Ethernet frame: 1500 - 20 (IP) - 8 (UDP).
+MAX_UNFRAGMENTED_UDP_PAYLOAD = 1472
+#: Size of the EDNS OPT pseudo-record: root name (1) + type (2) + class (2)
+#: + TTL (4) + RDLENGTH (2).
+OPT_RECORD_SIZE = 11
+#: Size of an answer A record whose owner name is compressed to a pointer:
+#: pointer (2) + type (2) + class (2) + TTL (4) + RDLENGTH (2) + address (4).
+COMPRESSED_A_RECORD_SIZE = 16
+
+
+class ResponseCode(enum.IntEnum):
+    """DNS RCODE values (subset)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    REFUSED = 5
+
+
+class Opcode(enum.IntEnum):
+    QUERY = 0
+
+
+@dataclass(frozen=True)
+class Question:
+    """The question section entry (single-question messages only)."""
+
+    name: str
+    qtype: RecordType = RecordType.A
+    qclass: int = RecordClass.IN
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalise_name(self.name))
+
+    def encoded_size(self) -> int:
+        return len(encode_name(self.name)) + 4
+
+
+@dataclass(frozen=True)
+class DNSMessage:
+    """A DNS query or response message."""
+
+    transaction_id: int
+    question: Question
+    is_response: bool = False
+    answers: Tuple[ResourceRecord, ...] = ()
+    authority: Tuple[ResourceRecord, ...] = ()
+    additional: Tuple[ResourceRecord, ...] = ()
+    rcode: ResponseCode = ResponseCode.NOERROR
+    recursion_desired: bool = True
+    recursion_available: bool = False
+    authoritative: bool = False
+    truncated: bool = False
+    dnssec_ok: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.transaction_id <= 0xFFFF:
+            raise WireFormatError(f"transaction id out of range: {self.transaction_id}")
+        object.__setattr__(self, "answers", tuple(self.answers))
+        object.__setattr__(self, "authority", tuple(self.authority))
+        object.__setattr__(self, "additional", tuple(self.additional))
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def query(cls, transaction_id: int, name: str, qtype: RecordType = RecordType.A,
+              edns_payload: int = 4096, dnssec_ok: bool = False) -> "DNSMessage":
+        """Build a standard recursive query with an EDNS OPT record."""
+        additional = (opt_record(edns_payload),) if edns_payload else ()
+        return cls(
+            transaction_id=transaction_id,
+            question=Question(name=name, qtype=qtype),
+            is_response=False,
+            additional=additional,
+            dnssec_ok=dnssec_ok,
+        )
+
+    def make_response(self, answers: List[ResourceRecord],
+                      rcode: ResponseCode = ResponseCode.NOERROR,
+                      authoritative: bool = True,
+                      edns_payload: int = 4096) -> "DNSMessage":
+        """Build a response to this query, echoing id and question."""
+        additional = (opt_record(edns_payload),) if edns_payload else ()
+        return replace(
+            self,
+            is_response=True,
+            answers=tuple(answers),
+            authority=(),
+            additional=additional,
+            rcode=rcode,
+            authoritative=authoritative,
+            recursion_available=True,
+        )
+
+    # -- convenience ---------------------------------------------------------
+    @property
+    def answer_addresses(self) -> List[str]:
+        """All A-record addresses in the answer section, in order."""
+        return [rr.rdata for rr in self.answers if rr.rtype == RecordType.A]
+
+    def matches_query(self, query: "DNSMessage") -> bool:
+        """Off-path acceptance check a resolver performs on a response:
+        transaction id and question must match the outstanding query."""
+        return (
+            self.transaction_id == query.transaction_id
+            and self.question == query.question
+        )
+
+    # -- wire format -----------------------------------------------------------
+    def flags(self) -> int:
+        value = 0
+        if self.is_response:
+            value |= 0x8000
+        if self.authoritative:
+            value |= 0x0400
+        if self.truncated:
+            value |= 0x0200
+        if self.recursion_desired:
+            value |= 0x0100
+        if self.recursion_available:
+            value |= 0x0080
+        value |= int(self.rcode) & 0x000F
+        return value
+
+    def encode(self) -> bytes:
+        """Serialise to wire bytes with name compression."""
+        out = bytearray()
+        out += pack_uint16(self.transaction_id)
+        out += pack_uint16(self.flags())
+        out += pack_uint16(1)
+        out += pack_uint16(len(self.answers))
+        out += pack_uint16(len(self.authority))
+        out += pack_uint16(len(self.additional))
+        compression: dict = {}
+        out += encode_name(self.question.name, compression, len(out))
+        out += pack_uint16(int(self.question.qtype))
+        out += pack_uint16(int(self.question.qclass))
+        for section in (self.answers, self.authority, self.additional):
+            for record in section:
+                out += record.encode(compression, len(out))
+        return bytes(out)
+
+    @property
+    def wire_size(self) -> int:
+        """Size of the encoded message in bytes."""
+        return len(self.encode())
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DNSMessage":
+        """Parse wire bytes back into a message (single-question only)."""
+        if len(data) < DNS_HEADER_SIZE:
+            raise WireFormatError("truncated DNS header")
+        transaction_id = unpack_uint16(data, 0)
+        flags = unpack_uint16(data, 2)
+        qdcount = unpack_uint16(data, 4)
+        ancount = unpack_uint16(data, 6)
+        nscount = unpack_uint16(data, 8)
+        arcount = unpack_uint16(data, 10)
+        if qdcount != 1:
+            raise WireFormatError(f"unsupported question count: {qdcount}")
+        offset = DNS_HEADER_SIZE
+        qname, offset = decode_name(data, offset)
+        qtype = RecordType(unpack_uint16(data, offset))
+        qclass = unpack_uint16(data, offset + 2)
+        offset += 4
+        sections: List[List[ResourceRecord]] = []
+        for count in (ancount, nscount, arcount):
+            records: List[ResourceRecord] = []
+            for _ in range(count):
+                record, offset = ResourceRecord.decode(data, offset)
+                records.append(record)
+            sections.append(records)
+        return cls(
+            transaction_id=transaction_id,
+            question=Question(name=qname, qtype=qtype, qclass=qclass),
+            is_response=bool(flags & 0x8000),
+            answers=tuple(sections[0]),
+            authority=tuple(sections[1]),
+            additional=tuple(sections[2]),
+            rcode=ResponseCode(flags & 0x000F),
+            recursion_desired=bool(flags & 0x0100),
+            recursion_available=bool(flags & 0x0080),
+            authoritative=bool(flags & 0x0400),
+            truncated=bool(flags & 0x0200),
+        )
+
+
+def response_size_for_a_records(qname: str, record_count: int, with_edns: bool = True) -> int:
+    """Wire size of a response to ``qname`` carrying ``record_count`` A records.
+
+    Computed analytically from the layout (and cross-checked against the real
+    encoder in the test suite).
+    """
+    question_size = len(encode_name(qname)) + 4
+    size = DNS_HEADER_SIZE + question_size + record_count * COMPRESSED_A_RECORD_SIZE
+    if with_edns:
+        size += OPT_RECORD_SIZE
+    return size
+
+
+def max_a_records_for_payload(qname: str, payload_limit: int = MAX_UNFRAGMENTED_UDP_PAYLOAD,
+                              with_edns: bool = True) -> int:
+    """Maximum number of A records that fit in a response of ``payload_limit`` bytes.
+
+    With the pool.ntp.org question name, EDNS enabled and the conventional
+    1472-byte unfragmented UDP budget this evaluates to 89 — the figure the
+    paper quotes for the attacker's single-response pool flood.
+    """
+    question_size = len(encode_name(qname)) + 4
+    fixed = DNS_HEADER_SIZE + question_size + (OPT_RECORD_SIZE if with_edns else 0)
+    if payload_limit < fixed:
+        return 0
+    return (payload_limit - fixed) // COMPRESSED_A_RECORD_SIZE

@@ -1,0 +1,122 @@
+"""Authoritative nameservers, including a faithful pool.ntp.org model.
+
+pool.ntp.org behaviour that matters to the reproduction:
+
+* each response to an A query carries **4** addresses drawn from a large,
+  rotating set of volunteer NTP servers (this is why Chronos needs 24 hourly
+  queries to accumulate ~96 servers);
+* the records have a short TTL (150 seconds in the real zone), so each hourly
+  Chronos query is a cache miss and reaches the authoritative server again;
+* per the paper's companion measurement ([3]), 16 of the 30 pool.ntp.org
+  nameservers are willing to fragment their responses down to a 548-byte MTU
+  and do not serve DNSSEC — the combination the fragmentation-poisoning
+  vector requires.  Fragmentation behaviour is configured via the network's
+  per-source path MTU; the DNSSEC flag lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..netsim.network import Host, Network
+from ..netsim.packets import UDPDatagram
+from .message import DNSMessage, ResponseCode
+from .records import RecordType, ResourceRecord, a_record
+from .wire import normalise_name
+
+DNS_PORT = 53
+#: TTL used by the real pool.ntp.org zone for A records.
+POOL_NTP_ORG_TTL = 150
+#: Number of A records per pool.ntp.org response.
+POOL_RECORDS_PER_RESPONSE = 4
+
+
+class AuthoritativeNameserver(Host):
+    """A simple authoritative server answering A queries from a static zone."""
+
+    def __init__(self, network: Network, address: str, zone: Dict[str, List[str]],
+                 ttl: int = 300, name: Optional[str] = None, dnssec: bool = False) -> None:
+        super().__init__(network, address, name=name or f"ns-{address}")
+        self.zone = {normalise_name(owner): list(addresses) for owner, addresses in zone.items()}
+        self.ttl = ttl
+        self.dnssec = dnssec
+        self.queries_received = 0
+        self.responses_sent = 0
+
+    # -- zone management -----------------------------------------------------
+    def add_records(self, owner: str, addresses: Sequence[str]) -> None:
+        self.zone.setdefault(normalise_name(owner), []).extend(addresses)
+
+    def records_for(self, owner: str) -> List[str]:
+        return self.zone.get(normalise_name(owner), [])
+
+    # -- answering -------------------------------------------------------------
+    def select_addresses(self, owner: str) -> List[str]:
+        """Which addresses to include in a response (all of them, by default)."""
+        return self.records_for(owner)
+
+    def handle_datagram(self, datagram: UDPDatagram) -> None:
+        if datagram.dst_port != DNS_PORT:
+            return
+        try:
+            query = DNSMessage.decode(datagram.payload)
+        except Exception:
+            return
+        if query.is_response:
+            return
+        self.queries_received += 1
+        addresses = self.select_addresses(query.question.name)
+        if addresses and query.question.qtype == RecordType.A:
+            answers = [a_record(query.question.name, address, self.ttl) for address in addresses]
+            response = query.make_response(answers)
+        else:
+            response = query.make_response([], rcode=ResponseCode.NXDOMAIN)
+        self.responses_sent += 1
+        self.send_datagram(
+            UDPDatagram(
+                src_ip=self.address,
+                dst_ip=datagram.src_ip,
+                src_port=DNS_PORT,
+                dst_port=datagram.src_port,
+                payload=response.encode(),
+            )
+        )
+
+
+class PoolNTPNameserver(AuthoritativeNameserver):
+    """Authoritative server for ``pool.ntp.org`` with rotation.
+
+    Each query is answered with ``records_per_response`` servers chosen
+    uniformly at random (without replacement within a response) from the
+    volunteer pool, mimicking the real zone's GeoDNS rotation.  Selection
+    uses the simulator RNG so pool-generation experiments are reproducible.
+    """
+
+    def __init__(self, network: Network, address: str, zone_name: str,
+                 pool_servers: Sequence[str],
+                 records_per_response: int = POOL_RECORDS_PER_RESPONSE,
+                 ttl: int = POOL_NTP_ORG_TTL,
+                 name: Optional[str] = None,
+                 dnssec: bool = False,
+                 min_supported_mtu: int = 1500) -> None:
+        zone = {zone_name: list(pool_servers)}
+        super().__init__(network, address, zone=zone, ttl=ttl,
+                         name=name or f"pool-ns-{address}", dnssec=dnssec)
+        self.zone_name = normalise_name(zone_name)
+        self.pool_servers = list(pool_servers)
+        self.records_per_response = records_per_response
+        #: Smallest MTU this nameserver is willing to fragment responses to,
+        #: mirroring the per-nameserver measurement in the paper ([3] found
+        #: 16/30 fragmenting down to 548 bytes).
+        self.min_supported_mtu = min_supported_mtu
+
+    def matches_zone(self, owner: str) -> bool:
+        """Accept the zone apex and the numbered sub-pools (0..3.pool.ntp.org)."""
+        owner = normalise_name(owner)
+        return owner == self.zone_name or owner.endswith("." + self.zone_name)
+
+    def select_addresses(self, owner: str) -> List[str]:
+        if not self.matches_zone(owner):
+            return []
+        count = min(self.records_per_response, len(self.pool_servers))
+        return self.network.simulator.rng.sample(self.pool_servers, count)

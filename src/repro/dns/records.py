@@ -1,0 +1,154 @@
+"""DNS resource records and record types.
+
+Only the record types the reproduction actually touches are implemented
+(A, NS, CNAME, TXT, OPT), but they use the genuine wire encodings so that
+message sizes are exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..netsim.addresses import int_to_ip, ip_to_int
+from .wire import (
+    WireFormatError,
+    decode_name,
+    encode_name,
+    normalise_name,
+    pack_uint16,
+    pack_uint32,
+    unpack_uint16,
+    unpack_uint32,
+)
+
+
+class RecordType(enum.IntEnum):
+    """DNS RR TYPE values (subset)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+
+
+class RecordClass(enum.IntEnum):
+    """DNS RR CLASS values (IN only, plus the EDNS payload-size overload)."""
+
+    IN = 1
+
+
+#: Seconds in a day; the attack sets TTLs *above* this so that every
+#: subsequent hourly Chronos query is served from cache.
+SECONDS_PER_DAY = 86400
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A single DNS resource record.
+
+    ``rdata`` is type-specific structured data:
+
+    * ``A`` — dotted-quad address string;
+    * ``NS`` / ``CNAME`` — target domain name;
+    * ``TXT`` — text string;
+    * ``OPT`` — ignored (EDNS uses the class/ttl fields for its payload).
+    """
+
+    name: str
+    rtype: RecordType
+    ttl: int
+    rdata: str
+    rclass: int = RecordClass.IN
+
+    def __post_init__(self) -> None:
+        if self.ttl < 0 or self.ttl > 0x7FFFFFFF:
+            raise WireFormatError(f"TTL out of range: {self.ttl}")
+        object.__setattr__(self, "name", normalise_name(self.name))
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def is_address(self) -> bool:
+        return self.rtype == RecordType.A
+
+    def with_ttl(self, ttl: int) -> "ResourceRecord":
+        """Copy of this record with a different TTL (cache decrementing)."""
+        return ResourceRecord(self.name, self.rtype, ttl, self.rdata, self.rclass)
+
+    # -- wire format -------------------------------------------------------
+    def rdata_bytes(self) -> bytes:
+        """Encode the RDATA portion for this record type."""
+        if self.rtype == RecordType.A:
+            return ip_to_int(self.rdata).to_bytes(4, "big")
+        if self.rtype in (RecordType.NS, RecordType.CNAME):
+            # Name compression inside RDATA is legal but not used here; the
+            # size impact is irrelevant for the experiments (NS answers are
+            # never the large ones).
+            return encode_name(self.rdata)
+        if self.rtype == RecordType.TXT:
+            text = self.rdata.encode("ascii")
+            if len(text) > 255:
+                raise WireFormatError("TXT string too long")
+            return bytes([len(text)]) + text
+        if self.rtype == RecordType.OPT:
+            return b""
+        raise WireFormatError(f"unsupported record type {self.rtype}")
+
+    def encode(self, compression: dict, offset: int) -> bytes:
+        """Encode the full RR, updating the compression map."""
+        out = bytearray()
+        out += encode_name(self.name, compression, offset)
+        out += pack_uint16(int(self.rtype))
+        out += pack_uint16(int(self.rclass))
+        out += pack_uint32(self.ttl)
+        rdata = self.rdata_bytes()
+        out += pack_uint16(len(rdata))
+        out += rdata
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> Tuple["ResourceRecord", int]:
+        """Decode one RR starting at ``offset``; returns (record, next_offset)."""
+        name, offset = decode_name(data, offset)
+        rtype = RecordType(unpack_uint16(data, offset))
+        rclass = unpack_uint16(data, offset + 2)
+        ttl = unpack_uint32(data, offset + 4)
+        rdlength = unpack_uint16(data, offset + 8)
+        rdata_start = offset + 10
+        rdata_end = rdata_start + rdlength
+        if rdata_end > len(data):
+            raise WireFormatError("truncated RDATA")
+        raw = data[rdata_start:rdata_end]
+        if rtype == RecordType.A:
+            if rdlength != 4:
+                raise WireFormatError("A record RDATA must be 4 bytes")
+            rdata = int_to_ip(int.from_bytes(raw, "big"))
+        elif rtype in (RecordType.NS, RecordType.CNAME):
+            rdata, _ = decode_name(data, rdata_start)
+        elif rtype == RecordType.TXT:
+            rdata = raw[1:1 + raw[0]].decode("ascii") if raw else ""
+        elif rtype == RecordType.OPT:
+            rdata = ""
+        else:
+            raise WireFormatError(f"unsupported record type {rtype}")
+        record = cls(name=name or ".", rtype=rtype, ttl=ttl, rdata=rdata, rclass=rclass)
+        return record, rdata_end
+
+
+def a_record(name: str, address: str, ttl: int) -> ResourceRecord:
+    """Convenience constructor for an A record."""
+    return ResourceRecord(name=name, rtype=RecordType.A, ttl=ttl, rdata=address)
+
+
+def opt_record(payload_size: int = 4096) -> ResourceRecord:
+    """EDNS0 OPT pseudo-record advertising ``payload_size`` bytes.
+
+    EDNS is what allows UDP DNS responses larger than 512 bytes in the first
+    place — both the fragmented benign responses the poisoning vector needs
+    and the attacker's jumbo 89-record response depend on it, so responses in
+    the simulation carry the OPT record and pay its 11 bytes.
+    """
+    return ResourceRecord(name=".", rtype=RecordType.OPT, ttl=0, rdata="", rclass=payload_size)

@@ -1,0 +1,336 @@
+"""Recursive resolver and stub-resolver components.
+
+The recursive resolver is the victim of the cache-poisoning attack.  It
+performs the standard off-path defences — random transaction id, random
+source port, and source-address/question matching on responses — which is why
+the attacker in the paper goes *around* them: the spoofed content arrives in
+the second IPv4 fragment while all the validated fields live in the genuine
+first fragment sent by the real nameserver (fragmentation vector), or the
+attacker simply receives the query itself after a BGP hijack.
+
+The resolver is also deliberately *shared*: the paper notes that resolvers
+are typically shared by many systems, which lets the attacker trigger the DNS
+query and run the poisoning race via a third-party protocol (SMTP, open
+resolvers) independent of the Chronos client's own schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..netsim.network import Host, Network
+from ..netsim.packets import UDPDatagram
+from .cache import DNSCache
+from .message import DNSMessage, ResponseCode
+from .nameserver import DNS_PORT
+from .records import RecordType, ResourceRecord
+from .wire import normalise_name
+
+#: Callback invoked with the answer addresses (possibly empty on failure).
+LookupCallback = Callable[[List[str]], None]
+
+
+@dataclass
+class PendingUpstreamQuery:
+    """State for one query the resolver has forwarded upstream."""
+
+    upstream_query: DNSMessage
+    nameserver_address: str
+    source_port: int
+    client_address: Optional[str]
+    client_port: Optional[int]
+    client_query: Optional[DNSMessage]
+    sent_at: float
+    timeout_handle: object = None
+
+
+@dataclass
+class ResolverPolicy:
+    """Validation and caching policy knobs relevant to the experiments."""
+
+    #: Drop responses whose UDP source address is not the queried nameserver.
+    check_source_address: bool = True
+    #: Randomise the resolver's source port per query (RFC 5452).
+    randomise_source_port: bool = True
+    #: Accept reassembled (fragmented) responses at all.  The companion
+    #: measurement found 90% of resolvers do; hardened ones do not.
+    accept_fragmented_responses: bool = True
+    #: Cap applied to TTLs of cached entries (None = no cap).  A cap below
+    #: 24 h is one of the §V mitigations.
+    max_cache_ttl: Optional[int] = None
+    #: Maximum number of A records accepted from a single response
+    #: (None = unlimited).  Limiting to 4 is the other §V mitigation.
+    max_records_per_response: Optional[int] = None
+    #: Whether this resolver answers queries from any client (an "open
+    #: resolver"), which is one of the query-triggering avenues in §II.
+    open_resolver: bool = False
+    #: Query timeout in seconds before reporting failure to the client.
+    query_timeout: float = 5.0
+
+
+class RecursiveResolver(Host):
+    """A caching recursive resolver with configurable validation policy."""
+
+    def __init__(self, network: Network, address: str,
+                 nameserver_map: Dict[str, str],
+                 policy: Optional[ResolverPolicy] = None,
+                 name: Optional[str] = None,
+                 allowed_clients: Optional[List[str]] = None) -> None:
+        super().__init__(network, address, name=name or f"resolver-{address}")
+        #: zone suffix (normalised) -> authoritative nameserver address
+        self.nameserver_map = {normalise_name(zone): ns for zone, ns in nameserver_map.items()}
+        self.policy = policy or ResolverPolicy()
+        self.cache = DNSCache(max_ttl=self.policy.max_cache_ttl)
+        self.allowed_clients = set(allowed_clients) if allowed_clients else None
+        self._pending: Dict[Tuple[int, str], PendingUpstreamQuery] = {}
+        self._next_txid = 1
+        self.queries_answered_from_cache = 0
+        self.queries_forwarded = 0
+        self.responses_rejected = 0
+        self.poisoned_responses_accepted = 0
+        self.timeouts = 0
+
+    # -- helpers ---------------------------------------------------------------
+    def nameserver_for(self, qname: str) -> Optional[str]:
+        """Longest-suffix match of ``qname`` against the nameserver map."""
+        qname = normalise_name(qname)
+        best: Optional[str] = None
+        best_len = -1
+        for zone, ns_address in self.nameserver_map.items():
+            if qname == zone or qname.endswith("." + zone):
+                if len(zone) > best_len:
+                    best, best_len = ns_address, len(zone)
+        return best
+
+    def _allocate_txid(self) -> int:
+        if self.policy.randomise_source_port:
+            return self.network.simulator.rng.randrange(0, 0x10000)
+        txid = self._next_txid
+        self._next_txid = (self._next_txid + 1) & 0xFFFF
+        return txid
+
+    def _allocate_source_port(self) -> int:
+        if self.policy.randomise_source_port:
+            return self.network.simulator.rng.randrange(20000, 60000)
+        return 33333
+
+    # -- datagram dispatch --------------------------------------------------------
+    def handle_datagram(self, datagram: UDPDatagram) -> None:
+        try:
+            message = DNSMessage.decode(datagram.payload)
+        except Exception:
+            return
+        if message.is_response:
+            self._handle_upstream_response(datagram, message)
+        elif datagram.dst_port == DNS_PORT:
+            self._handle_client_query(datagram, message)
+
+    # -- client side -------------------------------------------------------------
+    def _handle_client_query(self, datagram: UDPDatagram, query: DNSMessage) -> None:
+        if self.allowed_clients is not None and not self.policy.open_resolver:
+            if datagram.src_ip not in self.allowed_clients:
+                response = query.make_response([], rcode=ResponseCode.REFUSED)
+                self._reply_to_client(datagram.src_ip, datagram.src_port, response)
+                return
+        cached = self.cache.lookup(query.question.name, query.question.qtype,
+                                   self.network.simulator.now)
+        if cached is not None:
+            self.queries_answered_from_cache += 1
+            now = self.network.simulator.now
+            answers = [record.with_ttl(cached.remaining_ttl(now)) for record in cached.records]
+            response = query.make_response(answers, authoritative=False)
+            self._reply_to_client(datagram.src_ip, datagram.src_port, response)
+            return
+        self._forward_upstream(query, datagram.src_ip, datagram.src_port)
+
+    def _reply_to_client(self, client_address: str, client_port: int, response: DNSMessage) -> None:
+        self.send_datagram(
+            UDPDatagram(
+                src_ip=self.address,
+                dst_ip=client_address,
+                src_port=DNS_PORT,
+                dst_port=client_port,
+                payload=response.encode(),
+            )
+        )
+
+    # -- upstream side -------------------------------------------------------------
+    def _forward_upstream(self, client_query: DNSMessage, client_address: Optional[str],
+                          client_port: Optional[int]) -> None:
+        nameserver = self.nameserver_for(client_query.question.name)
+        if nameserver is None:
+            if client_address is not None:
+                response = client_query.make_response([], rcode=ResponseCode.SERVFAIL)
+                self._reply_to_client(client_address, client_port, response)
+            return
+        txid = self._allocate_txid()
+        source_port = self._allocate_source_port()
+        upstream_query = DNSMessage.query(txid, client_query.question.name,
+                                          client_query.question.qtype)
+        pending = PendingUpstreamQuery(
+            upstream_query=upstream_query,
+            nameserver_address=nameserver,
+            source_port=source_port,
+            client_address=client_address,
+            client_port=client_port,
+            client_query=client_query,
+            sent_at=self.network.simulator.now,
+        )
+        key = (txid, normalise_name(client_query.question.name))
+        self._pending[key] = pending
+        pending.timeout_handle = self.network.simulator.schedule(
+            self.policy.query_timeout, lambda k=key: self._on_timeout(k))
+        self.queries_forwarded += 1
+        self.send_datagram(
+            UDPDatagram(
+                src_ip=self.address,
+                dst_ip=nameserver,
+                src_port=source_port,
+                dst_port=DNS_PORT,
+                payload=upstream_query.encode(),
+            )
+        )
+
+    def _on_timeout(self, key: Tuple[int, str]) -> None:
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            return
+        self.timeouts += 1
+        if pending.client_address is not None and pending.client_query is not None:
+            response = pending.client_query.make_response([], rcode=ResponseCode.SERVFAIL)
+            self._reply_to_client(pending.client_address, pending.client_port, response)
+
+    def _handle_upstream_response(self, datagram: UDPDatagram, response: DNSMessage) -> None:
+        key = (response.transaction_id, normalise_name(response.question.name))
+        pending = self._pending.get(key)
+        if pending is None:
+            self.responses_rejected += 1
+            return
+        if datagram.dst_port != pending.source_port:
+            self.responses_rejected += 1
+            return
+        if self.policy.check_source_address and datagram.src_ip != pending.nameserver_address:
+            self.responses_rejected += 1
+            return
+        if not response.matches_query(pending.upstream_query):
+            self.responses_rejected += 1
+            return
+        poisoned = self.last_datagram_poisoned
+        if poisoned and not self.policy.accept_fragmented_responses:
+            # A resolver that refuses reassembled fragments never sees the
+            # spoofed content; model it as rejecting the response outright.
+            self.responses_rejected += 1
+            return
+        del self._pending[key]
+        if pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+
+        answers = [record for record in response.answers if record.rtype == response.question.qtype]
+        if self.policy.max_records_per_response is not None:
+            answers = answers[: self.policy.max_records_per_response]
+        if answers:
+            self.cache.insert(response.question.name, response.question.qtype, answers,
+                              self.network.simulator.now, poisoned=poisoned)
+            if poisoned:
+                self.poisoned_responses_accepted += 1
+        if pending.client_address is not None and pending.client_query is not None:
+            client_response = pending.client_query.make_response(list(answers),
+                                                                 rcode=response.rcode,
+                                                                 authoritative=False)
+            self._reply_to_client(pending.client_address, pending.client_port, client_response)
+
+    # -- direct (attacker/trigger) entry point --------------------------------------
+    def trigger_lookup(self, name: str, qtype: RecordType = RecordType.A) -> None:
+        """Start an upstream lookup with no client waiting for the answer.
+
+        This models third-party query triggering (§II): an attacker makes a
+        shared resolver issue the pool.ntp.org query — e.g. via an SMTP
+        server's reverse lookup or an open-resolver query — so the poisoning
+        race can be run at a moment of the attacker's choosing.
+        """
+        synthetic = DNSMessage.query(self._allocate_txid(), name, qtype)
+        self._forward_upstream(synthetic, None, None)
+
+
+class DNSStub:
+    """Client-side DNS component attached to a host (Chronos / NTP client).
+
+    It sends queries to a configured recursive resolver and invokes the
+    caller's callback with the list of answer addresses.  The owning host
+    must offer incoming datagrams via :meth:`handle_datagram`.
+    """
+
+    def __init__(self, host: Host, resolver_address: str, query_timeout: float = 10.0) -> None:
+        self.host = host
+        self.resolver_address = resolver_address
+        self.query_timeout = query_timeout
+        self._pending: Dict[Tuple[int, int], Tuple[DNSMessage, Callable, object, bool]] = {}
+        self.lookups_issued = 0
+        self.lookups_failed = 0
+
+    def lookup(self, name: str, callback: LookupCallback,
+               qtype: RecordType = RecordType.A) -> None:
+        """Resolve ``name`` asynchronously; ``callback`` gets the addresses."""
+        self._send_query(name, callback, qtype, wants_message=False)
+
+    def lookup_message(self, name: str, callback: Callable[[Optional[DNSMessage]], None],
+                       qtype: RecordType = RecordType.A) -> None:
+        """Resolve ``name``; ``callback`` gets the full response message.
+
+        The Chronos client uses this variant so it can see record TTLs — the
+        §V mitigation of discarding high-TTL responses needs them.
+        """
+        self._send_query(name, callback, qtype, wants_message=True)
+
+    def _send_query(self, name: str, callback: Callable, qtype: RecordType,
+                    wants_message: bool) -> None:
+        rng = self.host.network.simulator.rng
+        txid = rng.randrange(0, 0x10000)
+        port = rng.randrange(20000, 60000)
+        query = DNSMessage.query(txid, name, qtype)
+        handle = self.host.network.simulator.schedule(
+            self.query_timeout, lambda key=(txid, port): self._on_timeout(key))
+        self._pending[(txid, port)] = (query, callback, handle, wants_message)
+        self.lookups_issued += 1
+        self.host.send_datagram(
+            UDPDatagram(
+                src_ip=self.host.address,
+                dst_ip=self.resolver_address,
+                src_port=port,
+                dst_port=DNS_PORT,
+                payload=query.encode(),
+            )
+        )
+
+    def _on_timeout(self, key: Tuple[int, int]) -> None:
+        entry = self._pending.pop(key, None)
+        if entry is None:
+            return
+        _, callback, _, wants_message = entry
+        self.lookups_failed += 1
+        callback(None if wants_message else [])
+
+    def handle_datagram(self, datagram: UDPDatagram) -> bool:
+        """Offer an incoming datagram; returns True when it was a DNS answer."""
+        if datagram.src_port != DNS_PORT:
+            return False
+        try:
+            response = DNSMessage.decode(datagram.payload)
+        except Exception:
+            return False
+        if not response.is_response:
+            return False
+        key = (response.transaction_id, datagram.dst_port)
+        entry = self._pending.pop(key, None)
+        if entry is None:
+            return True
+        query, callback, handle, wants_message = entry
+        if handle is not None:
+            handle.cancel()
+        if not response.matches_query(query):
+            self.lookups_failed += 1
+            callback(None if wants_message else [])
+            return True
+        callback(response if wants_message else response.answer_addresses)
+        return True

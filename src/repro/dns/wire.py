@@ -1,0 +1,151 @@
+"""DNS wire-format primitives: domain-name encoding and compression.
+
+The reproduction encodes DNS messages to real wire bytes because two of the
+paper's quantitative claims are *size* claims:
+
+* a benign pool.ntp.org response (4 A records) is small and unfragmented,
+  but the nameservers are willing to fragment larger responses down to an
+  MTU of 548 bytes — which is what the poisoning vector needs;
+* an attacker can fit "up to 89" A records into a single non-fragmented DNS
+  response (§IV), which is what lets a single successful poisoning flood the
+  Chronos pool with malicious servers.
+
+Both are computed from the byte layout implemented here, not hard-coded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+POINTER_FLAG = 0xC0
+
+
+class WireFormatError(ValueError):
+    """Raised when encoding or decoding malformed DNS wire data."""
+
+
+def normalise_name(name: str) -> str:
+    """Lower-case a domain name and strip any trailing dot.
+
+    DNS names are case-insensitive; the cache and the poisoning checks all
+    operate on normalised names so ``Pool.NTP.org.`` and ``pool.ntp.org``
+    collide as they do in a real resolver.
+    """
+    return name.rstrip(".").lower()
+
+
+def name_to_labels(name: str) -> List[str]:
+    """Split a domain name into its labels, validating lengths."""
+    name = normalise_name(name)
+    if not name:
+        return []
+    labels = name.split(".")
+    for label in labels:
+        if not label:
+            raise WireFormatError(f"empty label in {name!r}")
+        if len(label) > MAX_LABEL_LENGTH:
+            raise WireFormatError(f"label too long in {name!r}")
+    encoded_length = sum(len(label) + 1 for label in labels) + 1
+    if encoded_length > MAX_NAME_LENGTH:
+        raise WireFormatError(f"name too long: {name!r}")
+    return labels
+
+
+def encode_name(name: str, compression: Dict[str, int] = None, offset: int = 0) -> bytes:
+    """Encode a domain name, optionally using/updating a compression map.
+
+    ``compression`` maps a (normalised) name suffix to the wire offset where
+    it was first written.  When a suffix is already present a 2-byte pointer
+    is emitted instead, which is how a real response packs 89 A records whose
+    owner name is all the same.
+    """
+    labels = name_to_labels(name)
+    out = bytearray()
+    for index in range(len(labels)):
+        suffix = ".".join(labels[index:])
+        if compression is not None and suffix in compression:
+            pointer = compression[suffix]
+            out += bytes([POINTER_FLAG | (pointer >> 8), pointer & 0xFF])
+            return bytes(out)
+        if compression is not None and offset + len(out) <= 0x3FFF:
+            compression[suffix] = offset + len(out)
+        label = labels[index]
+        out += bytes([len(label)]) + label.encode("ascii")
+    out += b"\x00"
+    return bytes(out)
+
+
+def encoded_name_length(name: str, compressed: bool) -> int:
+    """Length in bytes of an encoded name (2 when a compression pointer is used)."""
+    if compressed:
+        return 2
+    labels = name_to_labels(name)
+    return sum(len(label) + 1 for label in labels) + 1
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a (possibly compressed) name starting at ``offset``.
+
+    Returns ``(name, next_offset)`` where ``next_offset`` is the offset just
+    past the name *in the original position* (pointers do not advance it
+    beyond the 2 pointer bytes).
+    """
+    labels: List[str] = []
+    position = offset
+    jumped = False
+    next_offset = offset
+    seen_pointers = set()
+    while True:
+        if position >= len(data):
+            raise WireFormatError("truncated name")
+        length = data[position]
+        if length & POINTER_FLAG == POINTER_FLAG:
+            if position + 1 >= len(data):
+                raise WireFormatError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[position + 1]
+            if pointer in seen_pointers:
+                raise WireFormatError("compression pointer loop")
+            seen_pointers.add(pointer)
+            if not jumped:
+                next_offset = position + 2
+                jumped = True
+            position = pointer
+            continue
+        if length & POINTER_FLAG:
+            raise WireFormatError(f"reserved label type 0x{length:02x}")
+        position += 1
+        if length == 0:
+            if not jumped:
+                next_offset = position
+            break
+        if position + length > len(data):
+            raise WireFormatError("truncated label")
+        labels.append(data[position:position + length].decode("ascii"))
+        position += length
+    return ".".join(labels), next_offset
+
+
+def pack_uint16(value: int) -> bytes:
+    if not 0 <= value <= 0xFFFF:
+        raise WireFormatError(f"uint16 out of range: {value}")
+    return value.to_bytes(2, "big")
+
+
+def pack_uint32(value: int) -> bytes:
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise WireFormatError(f"uint32 out of range: {value}")
+    return value.to_bytes(4, "big")
+
+
+def unpack_uint16(data: bytes, offset: int) -> int:
+    if offset + 2 > len(data):
+        raise WireFormatError("truncated uint16")
+    return int.from_bytes(data[offset:offset + 2], "big")
+
+
+def unpack_uint32(data: bytes, offset: int) -> int:
+    if offset + 4 > len(data):
+        raise WireFormatError("truncated uint32")
+    return int.from_bytes(data[offset:offset + 4], "big")

@@ -1,0 +1,49 @@
+"""Measurement-study substrate reproducing the §II DNS statistics."""
+
+from .nameserver_study import (
+    NameserverProbeResult,
+    NameserverStudyReport,
+    probe_nameserver,
+    run_nameserver_study,
+)
+from .population import (
+    MINIMUM_FRAGMENT_MTU,
+    PAPER_NAMESERVER_TOTAL,
+    PAPER_NAMESERVERS_FRAGMENTING,
+    PAPER_RESOLVER_ACCEPT_ANY_FRACTION,
+    PAPER_RESOLVER_ACCEPT_MINIMUM_FRACTION,
+    PAPER_RESOLVER_TRIGGERABLE_FRACTION,
+    STUDY_MTU_THRESHOLD,
+    NameserverProfile,
+    ResolverProfile,
+    generate_nameserver_population,
+    generate_resolver_population,
+)
+from .resolver_study import (
+    ResolverProbeResult,
+    ResolverStudyReport,
+    probe_resolver,
+    run_resolver_study,
+)
+
+__all__ = [
+    "NameserverProbeResult",
+    "NameserverStudyReport",
+    "probe_nameserver",
+    "run_nameserver_study",
+    "MINIMUM_FRAGMENT_MTU",
+    "PAPER_NAMESERVER_TOTAL",
+    "PAPER_NAMESERVERS_FRAGMENTING",
+    "PAPER_RESOLVER_ACCEPT_ANY_FRACTION",
+    "PAPER_RESOLVER_ACCEPT_MINIMUM_FRACTION",
+    "PAPER_RESOLVER_TRIGGERABLE_FRACTION",
+    "STUDY_MTU_THRESHOLD",
+    "NameserverProfile",
+    "ResolverProfile",
+    "generate_nameserver_population",
+    "generate_resolver_population",
+    "ResolverProbeResult",
+    "ResolverStudyReport",
+    "probe_resolver",
+    "run_resolver_study",
+]

@@ -1,0 +1,55 @@
+"""Network simulation substrate: discrete-event simulator, IPv4/UDP, fragmentation, BGP."""
+
+from .addresses import AddressAllocator, AddressError, Prefix, int_to_ip, ip_to_int, is_valid_ip
+from .bgp import BGPHijack, RouteAnnouncement, RoutingTable
+from .fragmentation import (
+    OverlapPolicy,
+    ReassemblyBuffer,
+    ReassemblyResult,
+    fragment_datagram,
+    parse_udp_wire,
+)
+from .network import Host, LinkProperties, Network, NetworkError
+from .packets import (
+    DEFAULT_MTU,
+    IPV4_HEADER_SIZE,
+    MINIMUM_IPV4_MTU,
+    UDP_HEADER_SIZE,
+    IPPacket,
+    PacketError,
+    UDPDatagram,
+    udp_checksum,
+)
+from .simulator import EventHandle, SimulationError, Simulator
+
+__all__ = [
+    "AddressAllocator",
+    "AddressError",
+    "Prefix",
+    "int_to_ip",
+    "ip_to_int",
+    "is_valid_ip",
+    "BGPHijack",
+    "RouteAnnouncement",
+    "RoutingTable",
+    "OverlapPolicy",
+    "ReassemblyBuffer",
+    "ReassemblyResult",
+    "fragment_datagram",
+    "parse_udp_wire",
+    "Host",
+    "LinkProperties",
+    "Network",
+    "NetworkError",
+    "DEFAULT_MTU",
+    "IPV4_HEADER_SIZE",
+    "MINIMUM_IPV4_MTU",
+    "UDP_HEADER_SIZE",
+    "IPPacket",
+    "PacketError",
+    "UDPDatagram",
+    "udp_checksum",
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+]

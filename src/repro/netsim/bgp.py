@@ -1,0 +1,106 @@
+"""A deliberately small BGP model: longest-prefix-match routing and hijacks.
+
+The paper lists two vectors for the DNS cache poisoning that seeds the
+Chronos pool attack: IPv4 defragmentation poisoning and BGP prefix hijacking
+("BGP hijacking places the attacker in a MitM position for the victim
+network").  For the reproduction we only need the *consequence* of a hijack —
+packets addressed to the victim prefix are delivered to the hijacker instead
+of (or before) the legitimate owner — not BGP's path-vector mechanics.
+
+The routing table maps prefixes to the simulated host that currently receives
+traffic for them.  Announcing a more-specific prefix wins by longest-prefix
+match, exactly the property real-world hijacks (e.g. the MyEtherWallet /
+Amazon Route 53 incident cited by the paper) exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .addresses import Prefix
+
+
+@dataclass(frozen=True)
+class RouteAnnouncement:
+    """One announcement: a prefix claimed by an origin (host address)."""
+
+    prefix: Prefix
+    origin: str
+    legitimate: bool = True
+
+
+@dataclass
+class RoutingTable:
+    """Longest-prefix-match forwarding state shared by the simulated network."""
+
+    announcements: List[RouteAnnouncement] = field(default_factory=list)
+    #: history of hijacks, useful for experiment reporting
+    hijacks: List[RouteAnnouncement] = field(default_factory=list)
+
+    def announce(self, prefix: str, origin: str, legitimate: bool = True) -> RouteAnnouncement:
+        """Add an announcement.  Illegitimate announcements are recorded as hijacks."""
+        announcement = RouteAnnouncement(Prefix.parse(prefix), origin, legitimate)
+        self.announcements.append(announcement)
+        if not legitimate:
+            self.hijacks.append(announcement)
+        return announcement
+
+    def withdraw(self, prefix: str, origin: str) -> None:
+        """Remove announcements of ``prefix`` by ``origin`` (no-op if absent)."""
+        target = Prefix.parse(prefix)
+        self.announcements = [
+            a for a in self.announcements if not (a.prefix == target and a.origin == origin)
+        ]
+
+    def lookup(self, address: str) -> Optional[str]:
+        """Return the origin that currently receives traffic for ``address``.
+
+        Longest prefix wins; on a tie the most recent announcement wins,
+        modelling the propagation advantage a fresh (hijack) announcement has
+        over an established route in the neighbourhood that accepted it.
+        """
+        best: Optional[RouteAnnouncement] = None
+        best_index = -1
+        for index, announcement in enumerate(self.announcements):
+            if not announcement.prefix.contains(address):
+                continue
+            if best is None or announcement.prefix.length > best.prefix.length or (
+                announcement.prefix.length == best.prefix.length and index > best_index
+            ):
+                best = announcement
+                best_index = index
+        return best.origin if best else None
+
+    def hijacked_destinations(self) -> Dict[str, str]:
+        """Map of hijacked prefixes (as strings) to the hijacker origin."""
+        return {str(a.prefix): a.origin for a in self.hijacks}
+
+
+class BGPHijack:
+    """Context-manager helper for a temporary prefix hijack.
+
+    Example
+    -------
+    >>> table = RoutingTable()
+    >>> table.announce("203.0.113.0/24", "203.0.113.53")
+    ... # doctest: +ELLIPSIS
+    RouteAnnouncement(...)
+    >>> with BGPHijack(table, "203.0.113.0/25", hijacker="198.51.100.66"):
+    ...     table.lookup("203.0.113.53")
+    '198.51.100.66'
+    >>> table.lookup("203.0.113.53")
+    '203.0.113.53'
+    """
+
+    def __init__(self, table: RoutingTable, prefix: str, hijacker: str) -> None:
+        self.table = table
+        self.prefix = prefix
+        self.hijacker = hijacker
+
+    def __enter__(self) -> "BGPHijack":
+        self.table.announce(self.prefix, self.hijacker, legitimate=False)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.table.withdraw(self.prefix, self.hijacker)

@@ -1,0 +1,203 @@
+"""The simulated network: hosts, links and packet delivery.
+
+Hosts register with a :class:`Network` under one or more IPv4 addresses and
+exchange UDP datagrams.  Delivery goes through three stages that mirror what
+the attacks care about:
+
+1. *Routing* — normally straight to the host owning the destination address,
+   but a :class:`repro.netsim.bgp.RoutingTable` can divert a prefix to a
+   hijacker.
+2. *Fragmentation* — the sending host's path MTU (per destination, or a
+   default) decides whether the datagram is split; the receiving host's
+   :class:`repro.netsim.fragmentation.ReassemblyBuffer` reassembles, which is
+   where spoofed fragments get glued in.
+3. *Delivery* — after a configurable latency (plus jitter drawn from the
+   simulator's RNG), the destination host's ``handle_datagram`` runs.
+
+Off-path attackers cannot observe traffic (the network never copies packets
+to them) but can inject raw IP packets with arbitrary source addresses via
+:meth:`Network.inject`, which is all the fragmentation-poisoning attack
+needs.  On-path attackers are modelled with taps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .bgp import RoutingTable
+from .fragmentation import OverlapPolicy, ReassemblyBuffer, fragment_datagram
+from .packets import DEFAULT_MTU, IPPacket, UDPDatagram
+from .simulator import Simulator
+
+
+class NetworkError(RuntimeError):
+    """Raised for misconfiguration of the simulated network."""
+
+
+@dataclass
+class LinkProperties:
+    """Per-destination link behaviour."""
+
+    latency: float = 0.02
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+    mtu: int = DEFAULT_MTU
+
+
+#: A tap sees (packet, simulated-time) for every packet traversing the network.
+Tap = Callable[[IPPacket, float], None]
+
+
+class Host:
+    """Base class for every simulated endpoint (resolvers, servers, clients).
+
+    Subclasses override :meth:`handle_datagram`.  Each host owns a
+    defragmentation cache; its overlap policy is an experiment knob because
+    the fragmentation-poisoning vector depends on it.
+    """
+
+    def __init__(self, network: "Network", address: str, name: Optional[str] = None,
+                 overlap_policy: OverlapPolicy = OverlapPolicy.FIRST_WINS) -> None:
+        self.network = network
+        self.address = address
+        self.name = name or f"host-{address}"
+        self.reassembly = ReassemblyBuffer(overlap_policy=overlap_policy)
+        self.received_datagrams = 0
+        self.poisoned_datagrams = 0
+        #: Whether the datagram currently being handled was assembled from a
+        #: spoofed fragment; application layers (the DNS resolver) consult it
+        #: to tag cache entries for experiment reporting.
+        self.last_datagram_poisoned = False
+        network.register(self)
+
+    # -- sending -----------------------------------------------------------
+    def send_datagram(self, datagram: UDPDatagram) -> None:
+        """Send a UDP datagram into the network from this host."""
+        self.network.send_datagram(datagram)
+
+    # -- receiving ---------------------------------------------------------
+    def deliver_packet(self, packet: IPPacket) -> None:
+        """Called by the network for every IP packet addressed to this host."""
+        result = self.reassembly.add_fragment(packet, self.network.simulator.now)
+        if result.datagram is None:
+            return
+        if not result.datagram.checksum_valid() and not result.checksum_compensated:
+            # A reassembled datagram whose UDP checksum no longer matches is
+            # silently dropped — the failure mode of a sloppy fragment spoof
+            # that did not compensate the checksum.
+            return
+        self.received_datagrams += 1
+        if result.poisoned:
+            self.poisoned_datagrams += 1
+        self.last_datagram_poisoned = result.poisoned
+        try:
+            self.handle_datagram(result.datagram)
+        finally:
+            self.last_datagram_poisoned = False
+
+    def handle_datagram(self, datagram: UDPDatagram) -> None:  # pragma: no cover - abstract
+        """Application-layer handler; overridden by DNS/NTP hosts."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} @ {self.address}>"
+
+
+class Network:
+    """Connects hosts and delivers packets under the simulator's clock."""
+
+    def __init__(self, simulator: Simulator, default_link: Optional[LinkProperties] = None,
+                 routing_table: Optional[RoutingTable] = None) -> None:
+        self.simulator = simulator
+        self.default_link = default_link or LinkProperties()
+        self.routing_table = routing_table or RoutingTable()
+        self._hosts: Dict[str, Host] = {}
+        self._links: Dict[Tuple[str, str], LinkProperties] = {}
+        self._path_mtu: Dict[str, int] = {}
+        self._taps: List[Tap] = []
+        self._next_ip_id: Dict[str, int] = {}
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.packets_injected = 0
+
+    # -- topology ----------------------------------------------------------
+    def register(self, host: Host) -> None:
+        """Register a host under its address (called by ``Host.__init__``)."""
+        if host.address in self._hosts:
+            raise NetworkError(f"address {host.address} already registered")
+        self._hosts[host.address] = host
+
+    def host_for(self, address: str) -> Optional[Host]:
+        """The host owning ``address``, honouring any BGP hijack in effect."""
+        diverted = self.routing_table.lookup(address)
+        if diverted is not None and diverted in self._hosts:
+            return self._hosts[diverted]
+        return self._hosts.get(address)
+
+    def set_link(self, src: str, dst: str, properties: LinkProperties) -> None:
+        """Configure link behaviour for the (src, dst) direction."""
+        self._links[(src, dst)] = properties
+
+    def set_path_mtu(self, src: str, mtu: int) -> None:
+        """Set the path MTU used for datagrams originating at ``src``.
+
+        The paper's measurement found pool.ntp.org nameservers willing to
+        fragment responses down to 548 bytes; experiments set this per
+        nameserver to reproduce that.
+        """
+        self._path_mtu[src] = mtu
+
+    def add_tap(self, tap: Tap) -> None:
+        """Attach an on-path observer (MitM models, trace recording)."""
+        self._taps.append(tap)
+
+    def link_for(self, src: str, dst: str) -> LinkProperties:
+        return self._links.get((src, dst), self.default_link)
+
+    # -- sending -----------------------------------------------------------
+    def next_ip_id(self, src: str) -> int:
+        """Sequential per-source IP-ID counter.
+
+        Many real stacks use globally or per-destination sequential IP-IDs,
+        which is precisely what makes them predictable to an off-path
+        attacker; the fragmentation attack exploits this predictability.
+        """
+        value = self._next_ip_id.get(src, 1)
+        self._next_ip_id[src] = (value + 1) & 0xFFFF or 1
+        return value
+
+    def send_datagram(self, datagram: UDPDatagram) -> None:
+        """Fragment (if needed) and deliver a UDP datagram."""
+        datagram = datagram.with_valid_checksum()
+        mtu = min(self._path_mtu.get(datagram.src_ip, DEFAULT_MTU),
+                  self.link_for(datagram.src_ip, datagram.dst_ip).mtu)
+        ip_id = self.next_ip_id(datagram.src_ip)
+        for packet in fragment_datagram(datagram, ip_id=ip_id, mtu=mtu):
+            self._transmit(packet)
+
+    def inject(self, packet: IPPacket) -> None:
+        """Inject a raw IP packet with an arbitrary (spoofed) source address.
+
+        This is the off-path attacker's only capability: no observation, just
+        blind injection.
+        """
+        self.packets_injected += 1
+        self._transmit(packet)
+
+    def _transmit(self, packet: IPPacket) -> None:
+        self.packets_sent += 1
+        for tap in self._taps:
+            tap(packet, self.simulator.now)
+        link = self.link_for(packet.src_ip, packet.dst_ip)
+        if link.loss_rate > 0 and self.simulator.rng.random() < link.loss_rate:
+            self.packets_dropped += 1
+            return
+        destination = self.host_for(packet.dst_ip)
+        if destination is None:
+            self.packets_dropped += 1
+            return
+        latency = link.latency
+        if link.jitter > 0:
+            latency += self.simulator.rng.uniform(0, link.jitter)
+        self.simulator.schedule(latency, lambda p=packet, d=destination: d.deliver_packet(p))

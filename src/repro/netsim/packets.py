@@ -1,0 +1,165 @@
+"""IPv4 and UDP packet models.
+
+Only the fields that matter for the reproduced attacks are modelled, but they
+are modelled faithfully:
+
+* the IPv4 identification field (``ip_id``) — the value an off-path attacker
+  must predict to plant a matching spoofed fragment in a resolver's
+  defragmentation cache;
+* fragmentation metadata (fragment offset, more-fragments flag) — the basis
+  of the Herzberg/Shulman poisoning technique the paper builds on;
+* the UDP checksum — which covers the whole datagram and therefore must still
+  validate after the attacker's fragment replaces part of the payload.
+
+Payloads are ``bytes``; the DNS and NTP layers encode/decode real wire
+formats, so sizes (and therefore "does this response fragment at MTU 1500 /
+548 / 68?") are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .addresses import ip_to_int
+
+IPV4_HEADER_SIZE = 20
+UDP_HEADER_SIZE = 8
+#: Conventional Ethernet MTU; a DNS/UDP payload of up to 1472 bytes fits
+#: unfragmented (1500 - 20 IPv4 - 8 UDP).
+DEFAULT_MTU = 1500
+#: The minimum MTU an IPv4 host must accept (RFC 791); the paper's resolver
+#: study probes acceptance of fragments this small.
+MINIMUM_IPV4_MTU = 68
+
+PROTO_UDP = 17
+
+
+class PacketError(ValueError):
+    """Raised for malformed packet construction or invalid fragmentation."""
+
+
+def udp_checksum(src_ip: str, dst_ip: str, src_port: int, dst_port: int, payload: bytes) -> int:
+    """Compute a UDP checksum over the pseudo-header and payload.
+
+    This is the real ones'-complement Internet checksum.  The attacks rely on
+    it in a specific way: the checksum covers the *entire* reassembled UDP
+    datagram, so an attacker replacing the second fragment must choose spoofed
+    content whose contribution keeps the checksum valid (or know the original
+    content well enough to compensate).  The fragmentation-poisoning attack
+    code models both the "attacker compensates correctly" and "checksum
+    mismatch, datagram dropped" outcomes using this function.
+    """
+    pseudo = bytearray()
+    for address in (src_ip, dst_ip):
+        value = ip_to_int(address)
+        pseudo += bytes([(value >> 24) & 0xFF, (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF])
+    length = UDP_HEADER_SIZE + len(payload)
+    pseudo += bytes([0, PROTO_UDP])
+    pseudo += length.to_bytes(2, "big")
+    header = src_port.to_bytes(2, "big") + dst_port.to_bytes(2, "big") + length.to_bytes(2, "big") + b"\x00\x00"
+    data = bytes(pseudo) + header + payload
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    checksum = (~total) & 0xFFFF
+    return checksum or 0xFFFF
+
+
+@dataclass(frozen=True)
+class UDPDatagram:
+    """A UDP datagram as seen by application-layer code (DNS, NTP)."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    payload: bytes
+    checksum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError(f"port out of range: {port}")
+
+    @property
+    def size(self) -> int:
+        """Total UDP datagram size (header + payload) in bytes."""
+        return UDP_HEADER_SIZE + len(self.payload)
+
+    def with_valid_checksum(self) -> "UDPDatagram":
+        """Return a copy whose checksum field is correctly computed."""
+        value = udp_checksum(self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.payload)
+        return replace(self, checksum=value)
+
+    def checksum_valid(self) -> bool:
+        """Whether the stored checksum matches the payload.
+
+        A datagram with no checksum recorded (``None``) is treated as valid,
+        mirroring UDP's optional-checksum behaviour over IPv4.
+        """
+        if self.checksum is None:
+            return True
+        expected = udp_checksum(self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.payload)
+        return expected == self.checksum
+
+
+@dataclass(frozen=True)
+class IPPacket:
+    """An IPv4 packet (possibly a fragment) carrying part of a UDP datagram.
+
+    ``fragment_offset`` is expressed in bytes (the wire format uses 8-byte
+    units; :mod:`repro.netsim.fragmentation` enforces the 8-byte alignment
+    rule when splitting).
+    """
+
+    src_ip: str
+    dst_ip: str
+    ip_id: int
+    payload: bytes
+    protocol: int = PROTO_UDP
+    fragment_offset: int = 0
+    more_fragments: bool = False
+    ttl: int = 64
+    spoofed: bool = field(default=False, compare=False)
+    #: Set by an attacker that crafted this (spoofed) fragment so that the
+    #: reassembled datagram's UDP checksum still validates despite the splice
+    #: — the "checksum fixing" step of fragmentation poisoning.
+    checksum_compensated: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ip_id <= 0xFFFF:
+            raise PacketError(f"ip_id out of range: {self.ip_id}")
+        if self.fragment_offset < 0:
+            raise PacketError("negative fragment offset")
+        if self.fragment_offset % 8 and self.more_fragments is not None:
+            # Offsets are carried in 8-byte units on the wire.
+            if self.fragment_offset % 8 != 0:
+                raise PacketError("fragment offset must be a multiple of 8 bytes")
+
+    @property
+    def total_size(self) -> int:
+        """On-the-wire size of this packet (IPv4 header + payload)."""
+        return IPV4_HEADER_SIZE + len(self.payload)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True when this packet is part of a fragmented datagram."""
+        return self.more_fragments or self.fragment_offset > 0
+
+    @property
+    def reassembly_key(self) -> tuple:
+        """The tuple IPv4 reassembly uses to group fragments.
+
+        RFC 791 reassembles on (source, destination, protocol, identification)
+        — crucially *not* on any transport-layer field, which is what lets an
+        off-path attacker's spoofed fragment be glued onto a genuine first
+        fragment from the nameserver.
+        """
+        return (self.src_ip, self.dst_ip, self.protocol, self.ip_id)
+
+    def first_fragment(self) -> bool:
+        return self.fragment_offset == 0

@@ -1,0 +1,166 @@
+"""Discrete-event simulator used by every substrate in the reproduction.
+
+The paper's attack is a timing interaction between three clocks of behaviour:
+the hourly pool-generation schedule of Chronos, the TTL-driven expiry of DNS
+cache entries and the per-query race an off-path attacker runs against the
+authoritative nameserver.  All three are driven by the same simulated clock,
+provided by :class:`Simulator`.
+
+The simulator is intentionally small and deterministic: a binary heap of
+timestamped events, a monotonically increasing simulated time, and explicit
+seeding of every random decision through a single :class:`random.Random`
+instance owned by the simulator.  Determinism matters because the experiment
+harness compares attack outcomes across configurations; two runs with the
+same seed and the same configuration must produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven in an inconsistent way."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry.
+
+    Ordering is (time, sequence) so that events scheduled for the same
+    simulated instant fire in insertion order, which keeps traces stable.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule` allowing cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event is (or was) due."""
+        return self._event.time
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random number generator.  Components
+        that need randomness (packet loss, server rotation, attacker
+        spoofing races) must draw from :attr:`rng` so that the whole
+        experiment is reproducible from a single seed.
+    start_time:
+        Initial simulated time in seconds.  Experiments that care about
+        wall-clock-like values (NTP timestamps) typically start at a large
+        epoch value; the default of ``0.0`` is fine for everything else.
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Negative delays are rejected: the simulator never travels backwards,
+        which is exactly the invariant the system under study (NTP) is trying
+        to protect.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        event = _ScheduledEvent(self._now + delay, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        return self.schedule(when - self._now, callback)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns ``False`` if none is pending."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+        When the run stops because of ``until``, the clock is advanced to
+        ``until`` even if no event fired at that instant, so that callers can
+        rely on ``sim.now`` after the call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    return
+                next_time = self.peek_next_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
+        """Run for ``duration`` simulated seconds from the current time."""
+        self.run(until=self._now + duration, max_events=max_events)
+
+    def advance(self, duration: float) -> None:
+        """Alias of :meth:`run_for`; reads naturally in experiment scripts."""
+        self.run_for(duration)

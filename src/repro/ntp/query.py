@@ -1,0 +1,129 @@
+"""Shared client-side machinery for querying NTP servers.
+
+Both the traditional NTP client (the paper's baseline) and the Chronos client
+use the same request/response exchange; what differs is *which* servers they
+ask and how the resulting samples are combined.  :class:`NTPQuerier` owns the
+exchange: it sends a mode-3 request, matches the mode-4 reply by the echoed
+origin timestamp (the standard anti-spoofing nonce), and produces a
+:class:`TimeSample` with the four-timestamp offset/delay computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..netsim.network import Host
+from ..netsim.packets import UDPDatagram
+from .clock import SystemClock
+from .packet import NTPMode, NTPPacket, NTP_PORT, PacketFormatError
+from .timestamps import ExchangeTimestamps
+
+
+@dataclass(frozen=True)
+class TimeSample:
+    """One completed exchange with one server."""
+
+    server: str
+    offset: float
+    delay: float
+    stratum: int
+    root_dispersion: float
+    completed_at: float
+
+    @property
+    def plausible(self) -> bool:
+        """Bounded, non-negative delay — the minimal sanity filter."""
+        return 0.0 <= self.delay <= 16.0
+
+
+#: Callback receiving the sample, or ``None`` when the query timed out.
+SampleCallback = Callable[[Optional[TimeSample]], None]
+
+
+@dataclass
+class _PendingQuery:
+    server: str
+    origin_time: float
+    callback: SampleCallback
+    timeout_handle: object
+
+
+class NTPQuerier:
+    """Issues NTP client requests from a host and collects samples."""
+
+    def __init__(self, host: Host, clock: SystemClock, timeout: float = 2.0) -> None:
+        self.host = host
+        self.clock = clock
+        self.timeout = timeout
+        self._pending: Dict[Tuple[str, int], _PendingQuery] = {}
+        self.queries_sent = 0
+        self.responses_received = 0
+        self.timeouts = 0
+        self.invalid_responses = 0
+
+    def query(self, server_address: str, callback: SampleCallback) -> None:
+        """Send one request to ``server_address``; callback fires exactly once."""
+        origin_time = self.clock.now()
+        request = NTPPacket.client_request(transmit_time=origin_time)
+        port = self.host.network.simulator.rng.randrange(20000, 60000)
+        key = (server_address, port)
+        handle = self.host.network.simulator.schedule(
+            self.timeout, lambda k=key: self._on_timeout(k))
+        self._pending[key] = _PendingQuery(server_address, origin_time, callback, handle)
+        self.queries_sent += 1
+        self.host.send_datagram(
+            UDPDatagram(
+                src_ip=self.host.address,
+                dst_ip=server_address,
+                src_port=port,
+                dst_port=NTP_PORT,
+                payload=request.encode(),
+            )
+        )
+
+    def _on_timeout(self, key: Tuple[str, int]) -> None:
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            return
+        self.timeouts += 1
+        pending.callback(None)
+
+    def handle_datagram(self, datagram: UDPDatagram) -> bool:
+        """Offer an incoming datagram; returns True when it was an NTP reply."""
+        if datagram.src_port != NTP_PORT:
+            return False
+        try:
+            packet = NTPPacket.decode(datagram.payload)
+        except PacketFormatError:
+            return False
+        if packet.mode != NTPMode.SERVER:
+            return False
+        key = (datagram.src_ip, datagram.dst_port)
+        pending = self._pending.get(key)
+        if pending is None:
+            return True
+        if not packet.valid_server_reply_to(pending.origin_time):
+            self.invalid_responses += 1
+            return True
+        del self._pending[key]
+        if pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+        destination_time = self.clock.now()
+        exchange = ExchangeTimestamps(
+            origin=packet.origin_time,
+            receive=packet.receive_time,
+            transmit=packet.transmit_time,
+            destination=destination_time,
+        )
+        sample = TimeSample(
+            server=datagram.src_ip,
+            offset=exchange.offset,
+            delay=exchange.delay,
+            stratum=packet.stratum,
+            root_dispersion=packet.root_dispersion,
+            completed_at=self.host.network.simulator.now,
+        )
+        self.responses_received += 1
+        pending.callback(sample)
+        return True

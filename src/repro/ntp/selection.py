@@ -1,0 +1,147 @@
+"""Classic NTP clock-selection algorithms (the baseline Chronos replaces).
+
+A traditional NTP client (ntpd-style) combines the samples of its few
+configured servers with:
+
+1. *selection* — Marzullo/intersection algorithm over the confidence
+   intervals ``[offset - margin, offset + margin]`` of each server, keeping
+   the "truechimers" whose intervals mutually agree;
+2. *clustering* — discard statistical outliers among the truechimers;
+3. *combining* — a weighted average of the survivors.
+
+The security-relevant property, and the reason the paper treats the
+traditional client as *easier* to attack at the NTP layer yet *harder* via
+DNS: with only ~4 upstream servers, a single poisoned DNS response replaces
+the entire upstream set, but the client only gives the attacker one DNS
+query to poison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import List, Optional, Sequence, Tuple
+
+from .query import TimeSample
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a selection/combine run over a set of samples."""
+
+    offset: Optional[float]
+    survivors: Tuple[TimeSample, ...]
+    rejected: Tuple[TimeSample, ...]
+
+    @property
+    def succeeded(self) -> bool:
+        return self.offset is not None
+
+
+def sample_interval(sample: TimeSample, margin: Optional[float] = None) -> Tuple[float, float]:
+    """Confidence interval for a sample's offset.
+
+    The margin defaults to half the round-trip delay plus the server's root
+    dispersion — the standard bound on how wrong a single exchange can be.
+    """
+    if margin is None:
+        margin = sample.delay / 2.0 + sample.root_dispersion + 1e-6
+    return (sample.offset - margin, sample.offset + margin)
+
+
+def marzullo_intersection(intervals: Sequence[Tuple[float, float]]) -> Tuple[int, Optional[Tuple[float, float]]]:
+    """Marzullo's algorithm: the interval contained in the most input intervals.
+
+    Returns ``(count, interval)`` where ``count`` is the number of source
+    intervals overlapping the returned interval; ``interval`` is ``None``
+    when the input is empty.
+    """
+    if not intervals:
+        return 0, None
+    edges: List[Tuple[float, int]] = []
+    for low, high in intervals:
+        if high < low:
+            low, high = high, low
+        edges.append((low, -1))   # interval opens
+        edges.append((high, +1))  # interval closes
+    edges.sort()
+    best_count = 0
+    count = 0
+    best_start = None
+    for value, edge_type in edges:
+        if edge_type == -1:
+            count += 1
+            if count > best_count:
+                best_count = count
+                best_start = value
+        else:
+            count -= 1
+    if best_start is None:
+        return 0, None
+    # Find the end of the best interval: the first closing edge at or after
+    # best_start while best_count intervals are open.
+    count = 0
+    start = None
+    for value, edge_type in edges:
+        if edge_type == -1:
+            count += 1
+            if count == best_count and start is None and value >= best_start - 1e-18:
+                start = value
+        else:
+            if start is not None:
+                return best_count, (start, value)
+            count -= 1
+    return best_count, (best_start, best_start)
+
+
+def select_truechimers(samples: Sequence[TimeSample],
+                       minimum_agreeing: int = 1) -> Tuple[List[TimeSample], List[TimeSample]]:
+    """Split samples into truechimers (agreeing majority) and falsetickers."""
+    valid = [sample for sample in samples if sample.plausible]
+    if not valid:
+        return [], list(samples)
+    intervals = [sample_interval(sample) for sample in valid]
+    count, interval = marzullo_intersection(intervals)
+    if interval is None or count < minimum_agreeing:
+        return [], list(samples)
+    low, high = interval
+    truechimers = []
+    falsetickers = [sample for sample in samples if not sample.plausible]
+    for sample in valid:
+        s_low, s_high = sample_interval(sample)
+        if s_low <= high and low <= s_high:
+            truechimers.append(sample)
+        else:
+            falsetickers.append(sample)
+    return truechimers, falsetickers
+
+
+def cluster_survivors(samples: Sequence[TimeSample], max_survivors: int = 10) -> List[TimeSample]:
+    """Iteratively drop the sample farthest from the median offset."""
+    survivors = list(samples)
+    while len(survivors) > max(3, 1) and len(survivors) > max_survivors:
+        offsets = [sample.offset for sample in survivors]
+        centre = median(offsets)
+        farthest = max(survivors, key=lambda sample: abs(sample.offset - centre))
+        survivors.remove(farthest)
+    return survivors
+
+
+def combine_offset(samples: Sequence[TimeSample]) -> float:
+    """Delay-weighted average of the surviving offsets."""
+    if not samples:
+        raise ValueError("no samples to combine")
+    weights = [1.0 / (sample.delay + 1e-3) for sample in samples]
+    total = sum(weights)
+    return sum(sample.offset * weight for sample, weight in zip(samples, weights)) / total
+
+
+def ntpd_select(samples: Sequence[TimeSample]) -> SelectionResult:
+    """The full baseline pipeline: select, cluster, combine."""
+    truechimers, falsetickers = select_truechimers(samples)
+    if not truechimers:
+        return SelectionResult(offset=None, survivors=(), rejected=tuple(samples))
+    survivors = cluster_survivors(truechimers)
+    offset = combine_offset(survivors)
+    rejected = [sample for sample in samples if sample not in survivors]
+    return SelectionResult(offset=offset, survivors=tuple(survivors), rejected=tuple(rejected))

@@ -1,0 +1,100 @@
+"""NTP servers: honest time sources and attacker-controlled ones.
+
+An honest server replies with its own (approximately correct) clock.  A
+malicious server replies with a constant or attacker-scripted shift — the
+behaviour the Chronos threat model calls a "corrupted server" and the
+behaviour every address the attacker injects into the Chronos pool exhibits
+once the time-shifting phase of the attack starts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..netsim.network import Host, Network
+from ..netsim.packets import UDPDatagram
+from .clock import SystemClock
+from .packet import LeapIndicator, NTPMode, NTPPacket, NTP_PORT, PacketFormatError
+
+#: Scripted shift: maps true time to the shift (seconds) the server applies.
+ShiftSchedule = Callable[[float], float]
+
+
+class NTPServer(Host):
+    """An NTP server answering mode-3 requests from its local clock."""
+
+    def __init__(self, network: Network, address: str, clock: Optional[SystemClock] = None,
+                 stratum: int = 2, name: Optional[str] = None,
+                 clock_error: float = 0.0, response_loss: float = 0.0) -> None:
+        super().__init__(network, address, name=name or f"ntp-{address}")
+        self.clock = clock or SystemClock(network.simulator, offset=clock_error)
+        self.stratum = stratum
+        self.response_loss = response_loss
+        self.requests_received = 0
+        self.responses_sent = 0
+
+    # -- behaviour hooks ------------------------------------------------------
+    def served_time(self) -> float:
+        """The time of day this server reports right now."""
+        return self.clock.now()
+
+    def leap_indicator(self) -> LeapIndicator:
+        return LeapIndicator.NO_WARNING
+
+    # -- protocol ---------------------------------------------------------------
+    def handle_datagram(self, datagram: UDPDatagram) -> None:
+        if datagram.dst_port != NTP_PORT:
+            return
+        try:
+            request = NTPPacket.decode(datagram.payload)
+        except PacketFormatError:
+            return
+        if request.mode != NTPMode.CLIENT:
+            return
+        self.requests_received += 1
+        if self.response_loss and self.network.simulator.rng.random() < self.response_loss:
+            return
+        receive_time = self.served_time()
+        transmit_time = self.served_time()
+        reply = request.server_reply(
+            receive_time=receive_time,
+            transmit_time=transmit_time,
+            stratum=self.stratum,
+            reference_time=receive_time - 1.0,
+            leap=self.leap_indicator(),
+        )
+        self.responses_sent += 1
+        self.send_datagram(
+            UDPDatagram(
+                src_ip=self.address,
+                dst_ip=datagram.src_ip,
+                src_port=NTP_PORT,
+                dst_port=datagram.src_port,
+                payload=reply.encode(),
+            )
+        )
+
+
+class MaliciousNTPServer(NTPServer):
+    """An attacker-controlled NTP server serving shifted time.
+
+    ``time_shift`` is the constant shift in seconds; alternatively a
+    ``shift_schedule`` callable lets experiments model gradually increasing
+    shifts (the strategy used to stay inside per-update acceptance windows).
+    """
+
+    def __init__(self, network: Network, address: str, time_shift: float = 0.0,
+                 shift_schedule: Optional[ShiftSchedule] = None,
+                 stratum: int = 2, name: Optional[str] = None) -> None:
+        super().__init__(network, address, stratum=stratum,
+                         name=name or f"evil-ntp-{address}")
+        self.time_shift = time_shift
+        self.shift_schedule = shift_schedule
+
+    def current_shift(self) -> float:
+        if self.shift_schedule is not None:
+            return self.shift_schedule(self.clock.true_time())
+        return self.time_shift
+
+    def served_time(self) -> float:
+        return self.clock.now() + self.current_shift()

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Most tests build small, fully deterministic topologies: a simulator, a
+network, a handful of NTP servers, a pool.ntp.org nameserver, a recursive
+resolver and a victim client.  The fixtures here provide those pieces with
+fixed seeds so every test is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+from repro.dns.nameserver import PoolNTPNameserver
+from repro.dns.resolver import RecursiveResolver, ResolverPolicy
+from repro.netsim.addresses import AddressAllocator
+from repro.netsim.network import LinkProperties, Network
+from repro.netsim.simulator import Simulator
+from repro.ntp.server import NTPServer
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def network(simulator: Simulator) -> Network:
+    """A network with a small fixed latency and no loss."""
+    return Network(simulator, default_link=LinkProperties(latency=0.01))
+
+
+@dataclass
+class SmallInternet:
+    """A miniature benign Internet used by DNS/NTP integration tests."""
+
+    simulator: Simulator
+    network: Network
+    ntp_servers: List[NTPServer]
+    nameserver: PoolNTPNameserver
+    resolver: RecursiveResolver
+    zone: str = "pool.ntp.org"
+
+
+@pytest.fixture
+def small_internet(simulator: Simulator, network: Network) -> SmallInternet:
+    """Twenty benign NTP servers, a pool nameserver and a resolver."""
+    allocator = AddressAllocator("10.0.0.0/24")
+    servers = [NTPServer(network, allocator.allocate()) for _ in range(20)]
+    nameserver = PoolNTPNameserver(
+        network,
+        "192.0.2.53",
+        zone_name="pool.ntp.org",
+        pool_servers=[server.address for server in servers],
+    )
+    resolver = RecursiveResolver(
+        network,
+        "192.0.2.1",
+        nameserver_map={"pool.ntp.org": nameserver.address},
+        policy=ResolverPolicy(),
+    )
+    return SmallInternet(
+        simulator=simulator,
+        network=network,
+        ntp_servers=servers,
+        nameserver=nameserver,
+        resolver=resolver,
+    )

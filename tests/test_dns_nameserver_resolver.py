@@ -1,0 +1,227 @@
+"""Integration-style tests for the authoritative nameservers and the resolver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.message import DNSMessage
+from repro.dns.nameserver import DNS_PORT, AuthoritativeNameserver, PoolNTPNameserver
+from repro.dns.records import RecordType
+from repro.dns.resolver import DNSStub, RecursiveResolver, ResolverPolicy
+from repro.netsim.network import Host, LinkProperties, Network
+from repro.netsim.packets import UDPDatagram
+from repro.netsim.simulator import Simulator
+
+
+class StubHost(Host):
+    """A client host exposing only a DNS stub (for lookup tests)."""
+
+    def __init__(self, network, address, resolver_address):
+        super().__init__(network, address)
+        self.dns = DNSStub(self, resolver_address)
+
+    def handle_datagram(self, datagram):
+        self.dns.handle_datagram(datagram)
+
+
+def build_world(records_per_response=4, server_count=20, policy=None, seed=5):
+    simulator = Simulator(seed=seed)
+    network = Network(simulator, default_link=LinkProperties(latency=0.01))
+    pool_servers = [f"10.0.0.{i + 1}" for i in range(server_count)]
+    nameserver = PoolNTPNameserver(network, "192.0.2.53", zone_name="pool.ntp.org",
+                                   pool_servers=pool_servers,
+                                   records_per_response=records_per_response)
+    resolver = RecursiveResolver(network, "192.0.2.1",
+                                 nameserver_map={"pool.ntp.org": nameserver.address},
+                                 policy=policy or ResolverPolicy())
+    client = StubHost(network, "192.0.2.100", resolver.address)
+    return simulator, network, nameserver, resolver, client
+
+
+# -- nameserver behaviour ----------------------------------------------------------
+
+def test_pool_nameserver_returns_four_records():
+    simulator, _, nameserver, resolver, client = build_world()
+    answers = []
+    client.dns.lookup("pool.ntp.org", answers.append)
+    simulator.run(until=5.0)
+    assert len(answers) == 1
+    assert len(answers[0]) == 4
+    assert nameserver.queries_received == 1
+
+
+def test_pool_nameserver_rotates_answers():
+    simulator, _, _, _, client = build_world(server_count=50)
+    results = []
+    client.dns.lookup("pool.ntp.org", results.append)
+    simulator.run(until=5.0)
+    # force a second upstream query by evicting the resolver cache: use a
+    # fresh world with a different seed instead (rotation is per-query).
+    simulator2, _, _, _, client2 = build_world(server_count=50, seed=6)
+    client2.dns.lookup("pool.ntp.org", results.append)
+    simulator2.run(until=5.0)
+    assert results[0] != results[1]
+
+
+def test_pool_nameserver_matches_subpool_names():
+    simulator, _, _, resolver, client = build_world()
+    resolver.nameserver_map["2.pool.ntp.org"] = "192.0.2.53"
+    answers = []
+    client.dns.lookup("2.pool.ntp.org", answers.append)
+    simulator.run(until=5.0)
+    assert len(answers[0]) == 4
+
+
+def test_unknown_name_yields_empty_answer():
+    simulator, _, _, resolver, client = build_world()
+    resolver.nameserver_map["example.org"] = "192.0.2.53"
+    answers = []
+    client.dns.lookup("nonexistent.example.org", answers.append)
+    simulator.run(until=10.0)
+    assert answers == [[]]
+
+
+def test_static_authoritative_server_answers_from_zone():
+    simulator = Simulator(seed=1)
+    network = Network(simulator)
+    ns = AuthoritativeNameserver(network, "192.0.2.10",
+                                 zone={"fixed.example": ["203.0.113.5"]}, ttl=600)
+    resolver = RecursiveResolver(network, "192.0.2.1",
+                                 nameserver_map={"fixed.example": ns.address})
+    client = StubHost(network, "192.0.2.100", resolver.address)
+    answers = []
+    client.dns.lookup("fixed.example", answers.append)
+    simulator.run(until=5.0)
+    assert answers == [["203.0.113.5"]]
+
+
+# -- resolver behaviour -------------------------------------------------------------
+
+def test_second_lookup_within_ttl_served_from_cache():
+    simulator, _, nameserver, resolver, client = build_world()
+    first, second = [], []
+    client.dns.lookup("pool.ntp.org", first.append)
+    simulator.run(until=5.0)
+    client.dns.lookup("pool.ntp.org", second.append)
+    simulator.run(until=10.0)
+    assert nameserver.queries_received == 1
+    assert resolver.queries_answered_from_cache == 1
+    assert second[0] == first[0]
+
+
+def test_lookup_after_ttl_expiry_goes_upstream_again():
+    simulator, _, nameserver, resolver, client = build_world()
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    simulator.run(until=5.0)
+    # pool.ntp.org TTL is 150 s; one hour later the entry is long gone.
+    simulator.run(until=3600.0)
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    simulator.run(until=3610.0)
+    assert nameserver.queries_received == 2
+
+
+def test_cached_records_report_remaining_ttl():
+    simulator, _, _, resolver, client = build_world()
+    messages = []
+    client.dns.lookup_message("pool.ntp.org", messages.append)
+    simulator.run(until=5.0)
+    simulator.run(until=100.0)
+    client.dns.lookup_message("pool.ntp.org", messages.append)
+    simulator.run(until=105.0)
+    assert messages[0].answers[0].ttl == 150
+    assert messages[1].answers[0].ttl <= 51  # ~50 seconds remaining
+
+
+def test_resolver_rejects_response_from_wrong_source():
+    simulator, network, nameserver, resolver, client = build_world()
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    # Off-path attacker blindly spams a response from its own address with a
+    # guessed (wrong) transaction id: it must be rejected.
+    bogus = DNSMessage.query(0x4242, "pool.ntp.org").make_response([])
+    network.send_datagram(UDPDatagram("198.51.100.9", resolver.address, DNS_PORT, 33333,
+                                      bogus.encode()))
+    simulator.run(until=5.0)
+    assert resolver.responses_rejected >= 1
+    assert resolver.cache.peek("pool.ntp.org", RecordType.A) is not None  # benign answer cached
+
+
+def test_resolver_timeout_reports_failure_to_client():
+    simulator = Simulator(seed=2)
+    network = Network(simulator)
+    # nameserver address points at nothing
+    resolver = RecursiveResolver(network, "192.0.2.1",
+                                 nameserver_map={"pool.ntp.org": "192.0.2.250"},
+                                 policy=ResolverPolicy(query_timeout=2.0))
+    client = StubHost(network, "192.0.2.100", resolver.address)
+    answers = []
+    client.dns.lookup("pool.ntp.org", answers.append)
+    simulator.run(until=30.0)
+    assert answers == [[]]
+    assert resolver.timeouts == 1
+
+
+def test_resolver_servfail_for_unknown_zone():
+    simulator, _, _, _, client = build_world()
+    answers = []
+    client.dns.lookup("unknown.zone.example", answers.append)
+    simulator.run(until=5.0)
+    assert answers == [[]]
+
+
+def test_resolver_refuses_disallowed_clients():
+    simulator = Simulator(seed=3)
+    network = Network(simulator)
+    nameserver = PoolNTPNameserver(network, "192.0.2.53", zone_name="pool.ntp.org",
+                                   pool_servers=["10.0.0.1"])
+    resolver = RecursiveResolver(network, "192.0.2.1",
+                                 nameserver_map={"pool.ntp.org": nameserver.address},
+                                 allowed_clients=["192.0.2.100"])
+    allowed = StubHost(network, "192.0.2.100", resolver.address)
+    outsider = StubHost(network, "198.51.100.77", resolver.address)
+    got_allowed, got_outsider = [], []
+    allowed.dns.lookup("pool.ntp.org", got_allowed.append)
+    outsider.dns.lookup("pool.ntp.org", got_outsider.append)
+    simulator.run(until=15.0)
+    assert got_allowed and len(got_allowed[0]) > 0
+    assert got_outsider == [[]]
+
+
+def test_max_records_per_response_policy_caps_cache():
+    policy = ResolverPolicy(max_records_per_response=2)
+    simulator, _, _, resolver, client = build_world(records_per_response=4, policy=policy)
+    answers = []
+    client.dns.lookup("pool.ntp.org", answers.append)
+    simulator.run(until=5.0)
+    assert len(answers[0]) == 2
+    entry = resolver.cache.peek("pool.ntp.org", RecordType.A)
+    assert len(entry.records) == 2
+
+
+def test_max_cache_ttl_policy_caps_entry_lifetime():
+    policy = ResolverPolicy(max_cache_ttl=60)
+    simulator, _, nameserver, resolver, client = build_world(policy=policy)
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    simulator.run(until=5.0)
+    simulator.run(until=120.0)
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    simulator.run(until=125.0)
+    assert nameserver.queries_received == 2  # capped entry expired after 60 s
+
+
+def test_trigger_lookup_populates_cache_without_client():
+    simulator, _, nameserver, resolver, _ = build_world()
+    resolver.trigger_lookup("pool.ntp.org")
+    simulator.run(until=5.0)
+    assert nameserver.queries_received == 1
+    assert resolver.cache.peek("pool.ntp.org", RecordType.A) is not None
+
+
+def test_stub_timeout_returns_empty_answer():
+    simulator = Simulator(seed=4)
+    network = Network(simulator)
+    client = StubHost(network, "192.0.2.100", "192.0.2.240")  # resolver does not exist
+    answers = []
+    client.dns.lookup("pool.ntp.org", answers.append)
+    simulator.run(until=30.0)
+    assert answers == [[]]
+    assert client.dns.lookups_failed == 1

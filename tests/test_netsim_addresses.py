@@ -1,0 +1,114 @@
+"""Unit tests for IPv4 address and prefix utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.addresses import (
+    AddressAllocator,
+    AddressError,
+    Prefix,
+    int_to_ip,
+    ip_to_int,
+    is_valid_ip,
+)
+
+
+def test_ip_to_int_known_values():
+    assert ip_to_int("0.0.0.0") == 0
+    assert ip_to_int("0.0.0.1") == 1
+    assert ip_to_int("1.0.0.0") == 1 << 24
+    assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+    assert ip_to_int("192.0.2.53") == (192 << 24) | (0 << 16) | (2 << 8) | 53
+
+
+def test_int_to_ip_known_values():
+    assert int_to_ip(0) == "0.0.0.0"
+    assert int_to_ip(0xFFFFFFFF) == "255.255.255.255"
+    assert int_to_ip((10 << 24) + 5) == "10.0.0.5"
+
+
+@pytest.mark.parametrize("address", ["1.2.3.4", "10.0.0.1", "203.0.113.254"])
+def test_roundtrip(address):
+    assert int_to_ip(ip_to_int(address)) == address
+
+
+@pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-1"])
+def test_malformed_addresses_rejected(bad):
+    with pytest.raises(AddressError):
+        ip_to_int(bad)
+    assert not is_valid_ip(bad)
+
+
+def test_int_out_of_range_rejected():
+    with pytest.raises(AddressError):
+        int_to_ip(1 << 32)
+    with pytest.raises(AddressError):
+        int_to_ip(-1)
+
+
+def test_is_valid_ip_true_for_good_address():
+    assert is_valid_ip("198.51.100.7")
+
+
+def test_prefix_parse_and_str():
+    prefix = Prefix.parse("203.0.113.0/24")
+    assert prefix.length == 24
+    assert str(prefix) == "203.0.113.0/24"
+
+
+def test_prefix_parse_bare_address_is_slash_32():
+    prefix = Prefix.parse("192.0.2.53")
+    assert prefix.length == 32
+    assert prefix.contains("192.0.2.53")
+    assert not prefix.contains("192.0.2.54")
+
+
+def test_prefix_normalises_host_bits():
+    prefix = Prefix.parse("203.0.113.77/24")
+    assert str(prefix) == "203.0.113.0/24"
+
+
+def test_prefix_contains():
+    prefix = Prefix.parse("10.0.0.0/8")
+    assert prefix.contains("10.255.0.1")
+    assert not prefix.contains("11.0.0.1")
+
+
+def test_prefix_zero_length_contains_everything():
+    prefix = Prefix.parse("0.0.0.0/0")
+    assert prefix.contains("1.2.3.4")
+    assert prefix.contains("255.255.255.255")
+
+
+def test_prefix_invalid_length_rejected():
+    with pytest.raises(AddressError):
+        Prefix.parse("10.0.0.0/33")
+    with pytest.raises(AddressError):
+        Prefix.parse("10.0.0.0/abc")
+
+
+def test_allocator_sequential_and_unique():
+    allocator = AddressAllocator("198.51.100.0/24")
+    first = allocator.allocate()
+    second = allocator.allocate()
+    assert first == "198.51.100.1"
+    assert second == "198.51.100.2"
+    batch = allocator.allocate_many(10)
+    assert len(set(batch)) == 10
+    assert first not in batch
+
+
+def test_allocator_exhaustion():
+    allocator = AddressAllocator("192.0.2.0/30")  # only 2 usable host slots
+    allocator.allocate()
+    allocator.allocate()
+    with pytest.raises(AddressError):
+        allocator.allocate()
+
+
+def test_allocator_many_allocations_stay_in_prefix():
+    allocator = AddressAllocator("10.10.0.0/16")
+    prefix = Prefix.parse("10.10.0.0/16")
+    for address in allocator.allocate_many(300):
+        assert prefix.contains(address)

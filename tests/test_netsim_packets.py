@@ -1,0 +1,132 @@
+"""Unit tests for the IPv4/UDP packet models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.packets import (
+    DEFAULT_MTU,
+    IPV4_HEADER_SIZE,
+    MINIMUM_IPV4_MTU,
+    UDP_HEADER_SIZE,
+    IPPacket,
+    PacketError,
+    UDPDatagram,
+    udp_checksum,
+)
+
+
+def make_datagram(payload=b"hello", src="10.0.0.1", dst="10.0.0.2"):
+    return UDPDatagram(src_ip=src, dst_ip=dst, src_port=1234, dst_port=53, payload=payload)
+
+
+def test_constants_are_standard():
+    assert IPV4_HEADER_SIZE == 20
+    assert UDP_HEADER_SIZE == 8
+    assert DEFAULT_MTU == 1500
+    assert MINIMUM_IPV4_MTU == 68
+
+
+def test_datagram_size_includes_header():
+    assert make_datagram(b"x" * 100).size == 108
+
+
+def test_datagram_port_validation():
+    with pytest.raises(PacketError):
+        UDPDatagram("10.0.0.1", "10.0.0.2", -1, 53, b"")
+    with pytest.raises(PacketError):
+        UDPDatagram("10.0.0.1", "10.0.0.2", 53, 70000, b"")
+
+
+def test_checksum_is_deterministic():
+    a = udp_checksum("10.0.0.1", "10.0.0.2", 1, 2, b"payload")
+    b = udp_checksum("10.0.0.1", "10.0.0.2", 1, 2, b"payload")
+    assert a == b
+
+
+def test_checksum_changes_with_payload():
+    base = udp_checksum("10.0.0.1", "10.0.0.2", 1, 2, b"payload")
+    assert udp_checksum("10.0.0.1", "10.0.0.2", 1, 2, b"payloae") != base
+
+
+def test_checksum_changes_with_addresses():
+    base = udp_checksum("10.0.0.1", "10.0.0.2", 1, 2, b"payload")
+    assert udp_checksum("10.0.0.3", "10.0.0.2", 1, 2, b"payload") != base
+
+
+def test_checksum_never_zero():
+    # UDP reserves 0 to mean "no checksum"; ours maps 0 to 0xFFFF.
+    for payload in (b"", b"\x00", b"\xff\xff"):
+        assert udp_checksum("0.0.0.0", "0.0.0.0", 0, 0, payload) != 0
+
+
+def test_with_valid_checksum_roundtrip():
+    datagram = make_datagram().with_valid_checksum()
+    assert datagram.checksum is not None
+    assert datagram.checksum_valid()
+
+
+def test_checksum_invalid_after_payload_tamper():
+    datagram = make_datagram(b"original payload").with_valid_checksum()
+    tampered = UDPDatagram(
+        src_ip=datagram.src_ip,
+        dst_ip=datagram.dst_ip,
+        src_port=datagram.src_port,
+        dst_port=datagram.dst_port,
+        payload=b"tampered payload",
+        checksum=datagram.checksum,
+    )
+    assert not tampered.checksum_valid()
+
+
+def test_missing_checksum_is_treated_as_valid():
+    assert make_datagram().checksum_valid()
+
+
+def test_ip_packet_total_size():
+    packet = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=1, payload=b"x" * 50)
+    assert packet.total_size == IPV4_HEADER_SIZE + 50
+
+
+def test_ip_packet_fragment_flags():
+    plain = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=1, payload=b"x")
+    assert not plain.is_fragment
+    first = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=1, payload=b"x",
+                     more_fragments=True)
+    assert first.is_fragment and first.first_fragment()
+    tail = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=1, payload=b"x" * 8,
+                    fragment_offset=8)
+    assert tail.is_fragment and not tail.first_fragment()
+
+
+def test_ip_packet_reassembly_key_excludes_ports():
+    a = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=77, payload=b"a")
+    b = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=77, payload=b"completely different")
+    assert a.reassembly_key == b.reassembly_key
+
+
+def test_ip_packet_reassembly_key_differs_by_ipid():
+    a = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=77, payload=b"a")
+    b = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=78, payload=b"a")
+    assert a.reassembly_key != b.reassembly_key
+
+
+def test_ip_packet_ipid_range_enforced():
+    with pytest.raises(PacketError):
+        IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=0x10000, payload=b"")
+
+
+def test_ip_packet_offset_must_be_8_byte_aligned():
+    with pytest.raises(PacketError):
+        IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=1, payload=b"", fragment_offset=4)
+
+
+def test_ip_packet_negative_offset_rejected():
+    with pytest.raises(PacketError):
+        IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=1, payload=b"", fragment_offset=-8)
+
+
+def test_spoofed_flag_does_not_affect_equality():
+    a = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=1, payload=b"x")
+    b = IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2", ip_id=1, payload=b"x", spoofed=True)
+    assert a == b
