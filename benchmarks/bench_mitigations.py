@@ -1,4 +1,8 @@
-"""E8: the §V mitigations and the residual 24-hour-hijack attack."""
+"""E8: the §V mitigations and the residual 24-hour-hijack attack.
+
+The packet-level table is an explicit ``param_sets`` sweep through the
+experiment runner (one ``chronos_pool_attack`` run per mitigation case).
+"""
 
 from __future__ import annotations
 

@@ -1,37 +1,41 @@
-"""E9: the shift actually achieved on the victim clock, across victims and targets."""
+"""E9: the shift actually achieved on the victim clock, across victims and targets.
+
+Each victim row is an :class:`ExperimentRunner` sweep over the target-shift
+grid; the victims themselves are addressed through the scenario registry.
+"""
 
 from __future__ import annotations
 
 from conftest import emit
 
-from repro.attacks import (
-    BaselineAttackConfig,
-    ChronosPoolAttackScenario,
-    PoolAttackConfig,
-    TraditionalClientAttackScenario,
-)
+from repro.experiments import ExperimentRunner
 
 TARGETS = (0.1, 600.0)  # the paper's 100 ms reference and a ten-minute shift
+
+#: (row label, scenario name, base params, success metric)
+VICTIMS = (
+    ("traditional NTP, poisoned lookup", "traditional_client_attack",
+     {"poll_rounds": 4}, "attack_succeeded"),
+    ("Chronos, no DNS attack", "chronos_pool_attack",
+     {"poison_at_query": None, "update_rounds": 5}, "shift_achieved"),
+    ("Chronos, pool attack at query 2", "chronos_pool_attack",
+     {"poison_at_query": 2, "update_rounds": 6}, "shift_achieved"),
+)
 
 
 def run_matrix():
     rows = []
-    for target in TARGETS:
-        baseline = TraditionalClientAttackScenario(BaselineAttackConfig(seed=19)).run(target)
-        rows.append(("traditional NTP, poisoned lookup", target, baseline.achieved_error,
-                     baseline.attack_succeeded))
-
-        benign_chronos = ChronosPoolAttackScenario(PoolAttackConfig(seed=19, poison_at_query=None))
-        benign_chronos.run_pool_generation()
-        benign_shift = benign_chronos.run_time_shift(target, update_rounds=5)
-        rows.append(("Chronos, no DNS attack", target, benign_shift.achieved_error,
-                     benign_shift.shift_achieved))
-
-        attacked = ChronosPoolAttackScenario(PoolAttackConfig(seed=19, poison_at_query=2))
-        attacked.run_pool_generation()
-        attacked_shift = attacked.run_time_shift(target, update_rounds=6)
-        rows.append(("Chronos, pool attack at query 2", target, attacked_shift.achieved_error,
-                     attacked_shift.shift_achieved))
+    for label, scenario, base_params, success_key in VICTIMS:
+        result = ExperimentRunner(
+            scenario,
+            seeds=[19],
+            base_params=base_params,
+            grid={"target_shift": list(TARGETS)},
+        ).run()
+        for record in result.records:
+            rows.append((label, record.params["target_shift"],
+                         record.metrics["achieved_shift"],
+                         record.metrics[success_key]))
     return rows
 
 

@@ -1,40 +1,43 @@
 #!/usr/bin/env python3
-"""Quickstart: run a Chronos client in a benign simulated Internet.
+"""Quickstart: run Chronos in a benign simulated Internet via the runner.
 
-Builds the pool.ntp.org infrastructure (authoritative nameserver + volunteer
-NTP servers), a recursive resolver and a Chronos client; runs the 24-hour
-pool-generation phase and a few time updates with *no attacker present*, and
-reports the pool size and the client's clock error.
+Every experiment in this repo goes through the same engine: pick a scenario
+from the registry, hand :class:`repro.experiments.ExperimentRunner` a seed
+list and a parameter dict, and read the aggregate.  Here the attacker is
+disabled (``poison_at_query=None``), so the sweep simply shows a healthy
+Chronos client across several randomized worlds.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.attacks import ChronosPoolAttackScenario, PoolAttackConfig
+from repro.experiments import ExperimentRunner, available_scenarios
 
 
 def main() -> None:
-    # poison_at_query=None disables the attacker entirely; everything else is
-    # the default Figure-1 topology.
-    config = PoolAttackConfig(seed=42, poison_at_query=None)
-    scenario = ChronosPoolAttackScenario(config)
+    print("== registered scenarios ==")
+    for name, description in available_scenarios().items():
+        print(f"  {name:<28} {description}")
 
-    print("== Chronos pool generation (24 hourly DNS queries) ==")
-    result = scenario.run_pool_generation()
-    print(f"pool size:            {result.pool.size} servers")
-    print(f"benign / malicious:   {result.composition.benign} / {result.composition.malicious}")
-    print(f"queries issued:       {len(result.pool.queries)}")
-    print(f"answered from cache:  {result.cache_hits_during_generation}")
+    print("\n== benign Chronos, 4-seed sweep (no attacker) ==")
+    result = ExperimentRunner(
+        "chronos_pool_attack",
+        seeds=[42, 43, 44, 45],
+        base_params={"poison_at_query": None, "target_shift": 0.0,
+                     "update_rounds": 6},
+    ).run()
+    for record in result.records:
+        print(f"  seed {record.seed}: pool size {record.metrics['pool_size']}, "
+              f"{record.metrics['benign']} benign / "
+              f"{record.metrics['malicious']} malicious, "
+              f"clock error {record.metrics['achieved_shift'] * 1000.0:.3f} ms")
 
-    print("\n== Chronos time updates (no attacker) ==")
-    shift = scenario.run_time_shift(target_shift=0.0, update_rounds=6)
-    print(f"updates run:          {shift.updates_run}")
-    print(f"panic rounds:         {shift.panic_rounds}")
-    print(f"victim clock error:   {shift.achieved_error * 1000.0:.3f} ms")
-
-    applied = [f"{offset * 1000.0:.3f} ms" for offset in shift.applied_offsets]
-    print(f"applied offsets:      {applied}")
+    print("\n== aggregate ==")
+    for line in result.summary_lines():
+        print(f"  {line}")
+    print(f"  runs with any malicious pool member: "
+          f"{sum(1 for record in result.records if record.metrics['malicious'])}")
 
 
 if __name__ == "__main__":

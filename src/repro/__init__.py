@@ -14,18 +14,20 @@ The package is organised by subsystem:
   the paper, plus time-shift execution;
 * :mod:`repro.measurement` — the §II DNS measurement statistics;
 * :mod:`repro.analysis` — per-experiment sweeps and tables (see DESIGN.md
-  for the experiment index).
+  for the experiment index);
+* :mod:`repro.experiments` — declarative testbeds, the scenario registry,
+  and the parallel multi-seed experiment runner.
 
 Quick start::
 
-    from repro.attacks import ChronosPoolAttackScenario, PoolAttackConfig
+    from repro.experiments import ExperimentRunner
 
-    scenario = ChronosPoolAttackScenario(PoolAttackConfig(poison_at_query=3))
-    result = scenario.run_pool_generation()
-    print(result.composition.malicious_fraction, result.attack_succeeded)
+    result = ExperimentRunner("chronos_pool_attack", seeds=range(8),
+                              base_params={"poison_at_query": 3}).run()
+    print(result.success_rate(), result.success_interval().formatted())
 """
 
-from . import analysis, attacks, core, dns, measurement, netsim, ntp
+from . import analysis, attacks, core, dns, experiments, measurement, netsim, ntp
 
 __version__ = "1.0.0"
 
@@ -34,6 +36,7 @@ __all__ = [
     "attacks",
     "core",
     "dns",
+    "experiments",
     "measurement",
     "netsim",
     "ntp",

@@ -15,11 +15,11 @@ of that, both in closed form and on the packet-level scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
-from ..attacks.chronos_pool_attack import ChronosPoolAttackScenario, PoolAttackConfig
-from ..core.pool_generation import PoolComposition, PoolGenerationPolicy
+from ..core.pool_generation import PoolComposition
 from ..dns.nameserver import POOL_RECORDS_PER_RESPONSE
+from ..experiments.runner import ExperimentRunner
 
 
 @dataclass(frozen=True)
@@ -100,42 +100,48 @@ def analytic_mitigation_table(query_count: int = 24, poison_at_query: int = 1,
     return rows
 
 
-def _simulated_composition(policy: PoolGenerationPolicy, poison_at_query: Optional[int],
-                           hijack_duration: float, seed: int,
-                           malicious_ttl: int = 2 * 86400) -> PoolComposition:
-    config = PoolAttackConfig(
-        seed=seed,
-        poison_at_query=poison_at_query,
-        pool_policy=policy,
-        hijack_duration=hijack_duration,
-        malicious_ttl=malicious_ttl,
-    )
-    scenario = ChronosPoolAttackScenario(config)
-    return scenario.run_pool_generation().composition
+#: The five mitigation cases, as (row label, scenario parameter overlay).
+#: An explicit ``param_sets`` sweep because the cases are heterogeneous —
+#: a cartesian grid would run combinations the table does not report.
+MITIGATION_CASES = (
+    ("no mitigation, single poisoning", {}),
+    ("max 4 addresses per response (alone)",
+     {"max_addresses_per_response": POOL_RECORDS_PER_RESPONSE}),
+    ("high-TTL responses discarded", {"max_accepted_ttl": 3600}),
+    ("both mitigations (single poisoning)",
+     {"max_addresses_per_response": POOL_RECORDS_PER_RESPONSE,
+      "max_accepted_ttl": 3600}),
+    ("both mitigations, 24h DNS hijack (residual)",
+     {"max_addresses_per_response": POOL_RECORDS_PER_RESPONSE,
+      "max_accepted_ttl": 3600,
+      # Pinned to query 1 regardless of the table's poison_at_query: the
+      # residual attack's hijack window must cover the whole generation.
+      "poison_at_query": 1,
+      "hijack_duration": 24 * 3600.0 + 1200.0,
+      "malicious_ttl": 300}),
+)
 
 
-def simulated_mitigation_table(poison_at_query: int = 1, seed: int = 1) -> List[MitigationRow]:
-    """Packet-level evaluation of the mitigations (slower, used by the bench)."""
-    rows: List[MitigationRow] = []
-    base_policy = PoolGenerationPolicy()
-    rows.append(_row("no mitigation, single poisoning",
-                     _simulated_composition(base_policy, poison_at_query, 600.0, seed),
-                     "simulated"))
-    capped = PoolGenerationPolicy(max_addresses_per_response=POOL_RECORDS_PER_RESPONSE)
-    rows.append(_row("max 4 addresses per response (alone)",
-                     _simulated_composition(capped, poison_at_query, 600.0, seed),
-                     "simulated"))
-    ttl_policy = PoolGenerationPolicy(max_accepted_ttl=3600)
-    rows.append(_row("high-TTL responses discarded",
-                     _simulated_composition(ttl_policy, poison_at_query, 600.0, seed),
-                     "simulated"))
-    both = PoolGenerationPolicy(max_addresses_per_response=POOL_RECORDS_PER_RESPONSE,
-                                max_accepted_ttl=3600)
-    rows.append(_row("both mitigations (single poisoning)",
-                     _simulated_composition(both, poison_at_query, 600.0, seed),
-                     "simulated"))
-    full_day = 24 * 3600.0 + 1200.0
-    rows.append(_row("both mitigations, 24h DNS hijack (residual)",
-                     _simulated_composition(both, 1, full_day, seed, malicious_ttl=300),
-                     "simulated"))
-    return rows
+def simulated_mitigation_table(poison_at_query: int = 1, seed: int = 1,
+                               workers: int = 1) -> List[MitigationRow]:
+    """Packet-level evaluation of the mitigations (slower, used by the bench).
+
+    Driven through the experiment runner: one ``chronos_pool_attack`` run per
+    mitigation case, optionally in parallel.
+    """
+    result = ExperimentRunner(
+        "chronos_pool_attack",
+        seeds=[seed],
+        base_params={"poison_at_query": poison_at_query,
+                     "hijack_duration": 600.0,
+                     "run_time_shift": False},
+        param_sets=[overlay for _, overlay in MITIGATION_CASES],
+        workers=workers,
+    ).run()
+    return [
+        _row(label,
+             PoolComposition(benign=record.metrics["benign"],
+                             malicious=record.metrics["malicious"]),
+             "simulated")
+        for (label, _), record in zip(MITIGATION_CASES, result.records)
+    ]

@@ -15,12 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..attacks.chronos_pool_attack import (
-    ChronosPoolAttackScenario,
-    PoolAttackConfig,
-    analytic_pool_composition,
-)
-from ..core.pool_generation import PoolComposition, PoolGenerationPolicy
+from ..attacks.chronos_pool_attack import analytic_pool_composition
+from ..core.pool_generation import PoolComposition
+from ..experiments.runner import run_scenario
 
 
 @dataclass(frozen=True)
@@ -87,17 +84,17 @@ def simulated_composition(poison_at_query: Optional[int], seed: int = 1,
                           dedupe: bool = True,
                           attacker_records: Optional[int] = None,
                           benign_server_count: int = 200) -> PoolCompositionRow:
-    """Run the packet-level scenario for one poisoning index."""
-    config = PoolAttackConfig(
-        seed=seed,
-        poison_at_query=poison_at_query,
-        attacker_record_count=attacker_records,
-        benign_server_count=benign_server_count,
-        pool_policy=PoolGenerationPolicy(dedupe=dedupe),
-    )
-    scenario = ChronosPoolAttackScenario(config)
-    result = scenario.run_pool_generation()
-    return _row_from_composition(poison_at_query, result.composition, mode="simulated")
+    """Run the packet-level scenario for one poisoning index (via the registry)."""
+    metrics = run_scenario("chronos_pool_attack", seed, {
+        "poison_at_query": poison_at_query,
+        "attacker_record_count": attacker_records,
+        "benign_server_count": benign_server_count,
+        "dedupe": dedupe,
+        "run_time_shift": False,
+    })
+    composition = PoolComposition(benign=metrics["benign"],
+                                  malicious=metrics["malicious"])
+    return _row_from_composition(poison_at_query, composition, mode="simulated")
 
 
 def simulated_sweep(indices: Sequence[int], seed: int = 1,

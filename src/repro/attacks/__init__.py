@@ -12,7 +12,13 @@ from .baseline_scenario import (
     BaselineAttackResult,
     TraditionalClientAttackScenario,
 )
-from .bgp_hijack import BGPHijackPoisoner, HijackWindow
+from .bgp_hijack import (
+    BGPHijackConfig,
+    BGPHijackPoisoner,
+    BGPHijackResult,
+    BGPHijackScenario,
+    HijackWindow,
+)
 from .chronos_pool_attack import (
     DEFAULT_ZONE,
     ChronosPoolAttackScenario,
@@ -26,6 +32,9 @@ from .frag_poisoning import (
     FragmentationAttackConditions,
     FragmentationAttackReport,
     FragmentationPoisoner,
+    FragPoisoningConfig,
+    FragPoisoningResult,
+    FragPoisoningScenario,
     fragmentation_attack_success_probability,
 )
 from .ntp_shift import (
@@ -47,7 +56,10 @@ __all__ = [
     "BaselineAttackConfig",
     "BaselineAttackResult",
     "TraditionalClientAttackScenario",
+    "BGPHijackConfig",
     "BGPHijackPoisoner",
+    "BGPHijackResult",
+    "BGPHijackScenario",
     "HijackWindow",
     "DEFAULT_ZONE",
     "ChronosPoolAttackScenario",
@@ -59,6 +71,9 @@ __all__ = [
     "FragmentationAttackConditions",
     "FragmentationAttackReport",
     "FragmentationPoisoner",
+    "FragPoisoningConfig",
+    "FragPoisoningResult",
+    "FragPoisoningScenario",
     "fragmentation_attack_success_probability",
     "OfflineShiftModel",
     "ShiftOutcome",

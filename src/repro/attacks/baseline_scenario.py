@@ -16,18 +16,12 @@ but drives a :class:`repro.ntp.client.TraditionalNTPClient`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE, PoolNTPNameserver
-from ..dns.resolver import RecursiveResolver, ResolverPolicy
-from ..netsim.addresses import AddressAllocator
-from ..netsim.network import LinkProperties, Network
-from ..netsim.simulator import Simulator
+from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE
+from ..experiments.testbed import Testbed, TestbedConfig, build_testbed
 from ..ntp.client import TraditionalNTPClient
-from ..ntp.server import NTPServer
-from .attacker import AttackerInfrastructure, build_attacker_infrastructure
-from .bgp_hijack import BGPHijackPoisoner
 
 
 @dataclass
@@ -73,53 +67,38 @@ class TraditionalClientAttackScenario:
 
     def __init__(self, config: Optional[BaselineAttackConfig] = None) -> None:
         self.config = config or BaselineAttackConfig()
-        self.simulator = Simulator(seed=self.config.seed)
-        self.network = Network(self.simulator,
-                               default_link=LinkProperties(latency=self.config.latency))
-        self._build()
+        self.testbed = build_testbed(
+            TestbedConfig(
+                seed=self.config.seed,
+                zone=self.config.zone,
+                latency=self.config.latency,
+                benign_server_count=self.config.benign_server_count,
+                benign_address_block="10.20.0.0/16",
+                records_per_response=self.config.records_per_response,
+                benign_ttl=self.config.benign_ttl,
+                attacker_record_count=self.config.attacker_record_count,
+                malicious_ttl=self.config.malicious_ttl,
+                attacker_nameserver_address="198.51.100.254",
+            ),
+            victim_factory=self._build_client,
+        )
+        self.simulator = self.testbed.simulator
+        self.network = self.testbed.network
+        self.benign_servers = self.testbed.benign_servers
+        self.nameserver = self.testbed.nameserver
+        self.resolver = self.testbed.resolver
+        self.client: TraditionalNTPClient = self.testbed.victim
+        self.attacker = self.testbed.attacker
+        self.hijacker = self.testbed.hijacker
 
-    def _build(self) -> None:
-        allocator = AddressAllocator("10.20.0.0/16")
-        self.benign_servers = [
-            NTPServer(self.network, allocator.allocate(),
-                      clock_error=self.simulator.rng.gauss(0.0, 0.005))
-            for _ in range(self.config.benign_server_count)
-        ]
-        self.nameserver = PoolNTPNameserver(
-            self.network,
-            "192.0.2.53",
-            zone_name=self.config.zone,
-            pool_servers=[server.address for server in self.benign_servers],
-            records_per_response=self.config.records_per_response,
-            ttl=self.config.benign_ttl,
-        )
-        self.resolver = RecursiveResolver(
-            self.network,
-            "192.0.2.1",
-            nameserver_map={self.config.zone: self.nameserver.address},
-            policy=ResolverPolicy(),
-        )
-        self.client = TraditionalNTPClient(
-            self.network,
+    def _build_client(self, testbed: Testbed) -> TraditionalNTPClient:
+        return TraditionalNTPClient(
+            testbed.network,
             "192.0.2.110",
-            resolver_address=self.resolver.address,
+            resolver_address=testbed.resolver.address,
             hostname=self.config.zone,
             max_servers=self.config.max_servers,
             poll_interval=self.config.poll_interval,
-        )
-        self.attacker: AttackerInfrastructure = build_attacker_infrastructure(
-            self.network,
-            qname=self.config.zone,
-            address_block="198.51.100.0/24",
-            server_count=self.config.attacker_record_count,
-            malicious_ttl=self.config.malicious_ttl,
-        )
-        self.hijacker = BGPHijackPoisoner(
-            self.network,
-            self.attacker,
-            target_nameserver=self.nameserver.address,
-            zone_name=self.config.zone,
-            attacker_nameserver_address="198.51.100.254",
         )
 
     def run(self, target_shift: float, poll_rounds: int = 4) -> BaselineAttackResult:

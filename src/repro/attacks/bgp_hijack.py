@@ -16,8 +16,9 @@ from typing import List, Optional
 
 from ..dns.records import RecordType
 from ..dns.resolver import RecursiveResolver
+from ..experiments.testbed import DEFAULT_ZONE, TestbedConfig, build_testbed
 from ..netsim.network import Network
-from .attacker import AttackerInfrastructure, ImpersonatingNameserver
+from .attacker import DEFAULT_MALICIOUS_TTL, AttackerInfrastructure, ImpersonatingNameserver
 
 
 @dataclass
@@ -95,3 +96,82 @@ class BGPHijackPoisoner:
             return False
         attacker_addresses = set(self.attacker.ntp_addresses)
         return any(record.rdata in attacker_addresses for record in entry.records)
+
+
+@dataclass
+class BGPHijackConfig:
+    """Configuration of the standalone hijack-poisoning scenario."""
+
+    seed: int = 1
+    zone: str = DEFAULT_ZONE
+    benign_server_count: int = 60
+    #: Malicious A records injected (``None`` = the 89 of §IV).
+    attacker_record_count: Optional[int] = None
+    malicious_ttl: int = DEFAULT_MALICIOUS_TTL
+    #: When the more-specific announcement goes out (seconds from start).
+    hijack_start: float = 0.0
+    #: How long the hijack stays active; 0 disables the hijack entirely.
+    hijack_duration: float = 30.0
+    #: When the victim resolver's lookup is triggered.
+    lookup_time: float = 5.0
+    latency: float = 0.01
+
+
+@dataclass
+class BGPHijackResult:
+    """Outcome of one hijack-poisoning attempt."""
+
+    cache_poisoned: bool
+    malicious_records_cached: int
+    cached_ttl: Optional[int]
+    #: Queries the real nameserver saw (0 while the hijack diverts traffic).
+    legitimate_queries_answered: int
+    hijacked_queries_answered: int
+
+    @property
+    def attack_succeeded(self) -> bool:
+        return self.cache_poisoned
+
+
+class BGPHijackScenario:
+    """The §II prefix-hijack vector as a self-contained, registry-runnable
+    scenario: announce, trigger one resolver lookup, inspect the cache."""
+
+    def __init__(self, config: Optional[BGPHijackConfig] = None) -> None:
+        self.config = config or BGPHijackConfig()
+        self.testbed = build_testbed(TestbedConfig(
+            seed=self.config.seed,
+            zone=self.config.zone,
+            latency=self.config.latency,
+            benign_server_count=self.config.benign_server_count,
+            benign_address_block="10.30.0.0/16",
+            attacker_record_count=self.config.attacker_record_count,
+            malicious_ttl=self.config.malicious_ttl,
+        ))
+        self.simulator = self.testbed.simulator
+        self.network = self.testbed.network
+        self.nameserver = self.testbed.nameserver
+        self.resolver = self.testbed.resolver
+        self.attacker = self.testbed.attacker
+        self.hijacker = self.testbed.hijacker
+
+    def run(self) -> BGPHijackResult:
+        cfg = self.config
+        if cfg.hijack_duration > 0:
+            self.hijacker.schedule_window(cfg.hijack_start, cfg.hijack_duration)
+        self.simulator.schedule(cfg.lookup_time,
+                                lambda: self.resolver.trigger_lookup(cfg.zone))
+        horizon = cfg.hijack_start + cfg.hijack_duration + cfg.lookup_time + 30.0
+        self.simulator.run(until=horizon)
+        entry = self.resolver.cache.peek(cfg.zone, RecordType.A)
+        attacker_addresses = set(self.attacker.ntp_addresses)
+        cached = list(entry.records) if entry is not None else []
+        malicious_cached = sum(1 for record in cached
+                               if record.rdata in attacker_addresses)
+        return BGPHijackResult(
+            cache_poisoned=self.hijacker.poisoning_succeeded(self.resolver),
+            malicious_records_cached=malicious_cached,
+            cached_ttl=entry.ttl if entry is not None else None,
+            legitimate_queries_answered=self.nameserver.queries_received,
+            hijacked_queries_answered=self.hijacker.nameserver.hijacked_queries_answered,
+        )

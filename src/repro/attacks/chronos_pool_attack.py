@@ -27,17 +27,9 @@ from typing import List, Optional
 from ..core.chronos_client import ChronosClient
 from ..core.pool_generation import GeneratedPool, PoolComposition, PoolGenerationPolicy
 from ..core.selection import ChronosConfig
-from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE, PoolNTPNameserver
-from ..dns.resolver import RecursiveResolver, ResolverPolicy
-from ..netsim.addresses import AddressAllocator
-from ..netsim.network import LinkProperties, Network
-from ..netsim.simulator import Simulator
-from ..ntp.server import NTPServer
-from .attacker import AttackerInfrastructure, build_attacker_infrastructure
-from .bgp_hijack import BGPHijackPoisoner
-
-#: Default zone the experiments resolve, matching the paper.
-DEFAULT_ZONE = "pool.ntp.org"
+from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE
+from ..dns.resolver import ResolverPolicy
+from ..experiments.testbed import DEFAULT_ZONE, Testbed, TestbedConfig, build_testbed
 
 
 @dataclass
@@ -116,59 +108,39 @@ class ChronosPoolAttackScenario:
 
     def __init__(self, config: Optional[PoolAttackConfig] = None) -> None:
         self.config = config or PoolAttackConfig()
-        self.simulator = Simulator(seed=self.config.seed)
-        self.network = Network(self.simulator,
-                               default_link=LinkProperties(latency=self.config.latency))
-        self._build_benign_infrastructure()
-        self._build_victim()
-        self._build_attacker()
+        self.testbed = build_testbed(
+            TestbedConfig(
+                seed=self.config.seed,
+                zone=self.config.zone,
+                latency=self.config.latency,
+                benign_server_count=self.config.benign_server_count,
+                benign_address_block="10.10.0.0/16",
+                records_per_response=self.config.records_per_response,
+                benign_ttl=self.config.benign_ttl,
+                resolver_policy=self.config.resolver_policy,
+                attacker_record_count=self.config.attacker_record_count,
+                malicious_ttl=self.config.malicious_ttl,
+            ),
+            victim_factory=self._build_client,
+        )
+        self.simulator = self.testbed.simulator
+        self.network = self.testbed.network
+        self.benign_servers = self.testbed.benign_servers
+        self.nameserver = self.testbed.nameserver
+        self.resolver = self.testbed.resolver
+        self.client: ChronosClient = self.testbed.victim
+        self.attacker = self.testbed.attacker
+        self.hijacker = self.testbed.hijacker
         self.pool_result: Optional[PoolAttackResult] = None
 
-    # -- construction -----------------------------------------------------------
-    def _build_benign_infrastructure(self) -> None:
-        allocator = AddressAllocator("10.10.0.0/16")
-        self.benign_servers = [
-            NTPServer(self.network, allocator.allocate(),
-                      clock_error=self.simulator.rng.gauss(0.0, 0.005))
-            for _ in range(self.config.benign_server_count)
-        ]
-        self.nameserver = PoolNTPNameserver(
-            self.network,
-            "192.0.2.53",
-            zone_name=self.config.zone,
-            pool_servers=[server.address for server in self.benign_servers],
-            records_per_response=self.config.records_per_response,
-            ttl=self.config.benign_ttl,
-        )
-
-    def _build_victim(self) -> None:
-        self.resolver = RecursiveResolver(
-            self.network,
-            "192.0.2.1",
-            nameserver_map={self.config.zone: self.nameserver.address},
-            policy=self.config.resolver_policy,
-        )
-        self.client = ChronosClient(
-            self.network,
+    def _build_client(self, testbed: Testbed) -> ChronosClient:
+        return ChronosClient(
+            testbed.network,
             "192.0.2.100",
-            resolver_address=self.resolver.address,
+            resolver_address=testbed.resolver.address,
             hostname=self.config.zone,
             config=self.config.chronos,
             pool_policy=self.config.pool_policy,
-        )
-
-    def _build_attacker(self) -> None:
-        self.attacker: AttackerInfrastructure = build_attacker_infrastructure(
-            self.network,
-            qname=self.config.zone,
-            server_count=self.config.attacker_record_count,
-            malicious_ttl=self.config.malicious_ttl,
-        )
-        self.hijacker = BGPHijackPoisoner(
-            self.network,
-            self.attacker,
-            target_nameserver=self.nameserver.address,
-            zone_name=self.config.zone,
         )
 
     # -- running -----------------------------------------------------------------

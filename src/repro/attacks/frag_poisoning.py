@@ -30,13 +30,14 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..dns.message import DNSMessage
-from ..dns.nameserver import DNS_PORT, PoolNTPNameserver
-from ..dns.records import ResourceRecord, a_record
-from ..dns.resolver import RecursiveResolver
+from ..dns.nameserver import DNS_PORT, POOL_NTP_ORG_TTL, PoolNTPNameserver
+from ..dns.records import RecordType, ResourceRecord, a_record
+from ..dns.resolver import RecursiveResolver, ResolverPolicy
+from ..experiments.testbed import DEFAULT_ZONE, TestbedConfig, build_testbed
 from ..netsim.fragmentation import fragment_datagram
 from ..netsim.network import Network
 from ..netsim.packets import IPPacket, IPV4_HEADER_SIZE, UDPDatagram, udp_checksum
-from .attacker import AttackerInfrastructure
+from .attacker import DEFAULT_MALICIOUS_TTL, AttackerInfrastructure
 
 
 @dataclass(frozen=True)
@@ -228,3 +229,109 @@ def fragmentation_attack_success_probability(conditions: FragmentationAttackCond
         return 0.0
     per_attempt = 1.0 if ipid_predictable else min(1.0, ipid_window / ipid_space)
     return 1.0 - (1.0 - per_attempt) ** max(attempts, 1)
+
+
+@dataclass
+class FragPoisoningConfig:
+    """Configuration of the standalone defragmentation-poisoning scenario."""
+
+    seed: int = 17
+    zone: str = DEFAULT_ZONE
+    benign_server_count: int = 60
+    #: Records per benign response; enough that the answer section spills
+    #: into the trailing fragment(s) the attacker substitutes.
+    records_per_response: int = 40
+    benign_ttl: int = POOL_NTP_ORG_TTL
+    #: Path MTU towards the resolver (548 matches the companion study's
+    #: fragmenting nameservers; 1500 makes the vector infeasible).
+    nameserver_min_mtu: int = 548
+    #: Whether the victim resolver reassembles fragmented responses at all.
+    accept_fragments: bool = True
+    checksum_oracle: bool = True
+    ipid_window: int = 16
+    #: Fixed starting IP-ID (``None`` = predict the sequential counter).
+    starting_ipid: Optional[int] = None
+    attacker_record_count: Optional[int] = None
+    malicious_ttl: int = DEFAULT_MALICIOUS_TTL
+    latency: float = 0.01
+
+
+@dataclass
+class FragPoisoningResult:
+    """Outcome of one defragmentation-poisoning attempt."""
+
+    planted_fragments: int
+    cache_poisoned: bool
+    poisoned_records_cached: int
+    records_cached: int
+
+    @property
+    def attack_succeeded(self) -> bool:
+        return self.cache_poisoned
+
+
+class FragPoisoningScenario:
+    """The §II.A fragmentation vector as a self-contained, registry-runnable
+    scenario: plant spoofed trailing fragments, trigger the query, check the
+    victim resolver's cache."""
+
+    def __init__(self, config: Optional[FragPoisoningConfig] = None) -> None:
+        self.config = config or FragPoisoningConfig()
+        self.testbed = build_testbed(TestbedConfig(
+            seed=self.config.seed,
+            zone=self.config.zone,
+            latency=self.config.latency,
+            benign_server_count=self.config.benign_server_count,
+            benign_address_block="10.40.0.0/16",
+            records_per_response=self.config.records_per_response,
+            benign_ttl=self.config.benign_ttl,
+            nameserver_min_mtu=self.config.nameserver_min_mtu,
+            resolver_policy=ResolverPolicy(
+                accept_fragmented_responses=self.config.accept_fragments),
+            attacker_record_count=self.config.attacker_record_count,
+            malicious_ttl=self.config.malicious_ttl,
+            with_hijacker=False,
+        ))
+        self.simulator = self.testbed.simulator
+        self.network = self.testbed.network
+        self.nameserver = self.testbed.nameserver
+        self.resolver = self.testbed.resolver
+        self.attacker = self.testbed.attacker
+        self.poisoner = FragmentationPoisoner(
+            self.network,
+            self.attacker,
+            self.resolver,
+            self.nameserver,
+            zone_name=self.config.zone,
+            ipid_window=self.config.ipid_window,
+            checksum_oracle=self.config.checksum_oracle,
+        )
+
+    def expected_response(self) -> DNSMessage:
+        """The attacker's off-path model of the benign response.
+
+        Only the shape matters (record count and fixed A-record encoding);
+        the attacker cannot observe which concrete addresses the nameserver
+        rotates into the real answer.
+        """
+        addresses = self.nameserver.pool_servers[: self.config.records_per_response]
+        return DNSMessage.query(0, self.config.zone).make_response(
+            [a_record(self.config.zone, address, self.config.benign_ttl)
+             for address in addresses])
+
+    def run(self) -> FragPoisoningResult:
+        report = self.poisoner.plant_fragments(self.expected_response(),
+                                               starting_ipid=self.config.starting_ipid)
+        self.resolver.trigger_lookup(self.config.zone)
+        self.simulator.run(until=self.simulator.now + 10.0)
+        poisoned = self.poisoner.verify_poisoning()
+        entry = self.resolver.cache.peek(self.config.zone, RecordType.A)
+        attacker_addresses = set(self.attacker.ntp_addresses)
+        cached = list(entry.records) if entry is not None else []
+        return FragPoisoningResult(
+            planted_fragments=report.planted_fragments,
+            cache_poisoned=poisoned,
+            poisoned_records_cached=sum(1 for record in cached
+                                        if record.rdata in attacker_addresses),
+            records_cached=len(cached),
+        )

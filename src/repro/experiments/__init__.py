@@ -1,0 +1,69 @@
+"""repro.experiments — the unified experiment engine.
+
+Three layers, composable but independently usable:
+
+* :mod:`~repro.experiments.testbed` — declarative world construction
+  (:class:`TestbedConfig` + :class:`TestbedBuilder`) shared by every attack
+  scenario;
+* :mod:`~repro.experiments.registry` — the :class:`Scenario` protocol and
+  the by-name registry that makes any scenario runnable from a config dict;
+* :mod:`~repro.experiments.runner` / :mod:`~repro.experiments.results` —
+  parallel multi-seed sweeps (:class:`ExperimentRunner`) with deterministic,
+  order-preserving aggregation (:class:`ExperimentResult`).
+
+Quick start::
+
+    from repro.experiments import ExperimentRunner
+
+    result = ExperimentRunner(
+        "chronos_pool_attack",
+        seeds=range(16),
+        base_params={"poison_at_query": 3},
+        workers=4,
+    ).run()
+    print(result.success_rate(), result.success_interval().formatted())
+"""
+
+from .registry import (
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    merge_params,
+    register_scenario,
+)
+from .results import (
+    ConfidenceInterval,
+    ExperimentResult,
+    RunRecord,
+    mean_interval,
+    wilson_interval,
+)
+from .runner import ExperimentRunner, ExperimentSpec, run_scenario
+from .testbed import (
+    DEFAULT_ZONE,
+    Testbed,
+    TestbedBuilder,
+    TestbedConfig,
+    build_testbed,
+)
+
+__all__ = [
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "merge_params",
+    "register_scenario",
+    "ConfidenceInterval",
+    "ExperimentResult",
+    "RunRecord",
+    "mean_interval",
+    "wilson_interval",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "run_scenario",
+    "DEFAULT_ZONE",
+    "Testbed",
+    "TestbedBuilder",
+    "TestbedConfig",
+    "build_testbed",
+]

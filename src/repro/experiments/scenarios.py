@@ -1,0 +1,212 @@
+"""Registry adapters exposing the four attack scenarios as named experiments.
+
+Each adapter translates a flat, picklable parameter dict into the scenario's
+config dataclass, runs the scenario, and flattens the outcome into a metrics
+dict.  Conventions shared by all adapters so sweeps aggregate uniformly:
+
+* ``attack_succeeded`` — the scenario's headline success criterion (bool);
+* ``achieved_shift`` — the clock error reached on the victim, where the
+  scenario has a time-shifting phase (seconds).
+
+Importing this module registers the adapters; the registry does so lazily on
+first lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from ..attacks.baseline_scenario import BaselineAttackConfig, TraditionalClientAttackScenario
+from ..attacks.bgp_hijack import BGPHijackConfig, BGPHijackScenario
+from ..attacks.chronos_pool_attack import ChronosPoolAttackScenario, PoolAttackConfig
+from ..attacks.frag_poisoning import FragPoisoningConfig, FragPoisoningScenario
+from ..core.pool_generation import PoolGenerationPolicy
+from ..dns.resolver import ResolverPolicy
+from .registry import merge_params, register_scenario
+
+
+@register_scenario
+class ChronosPoolAttackExperiment:
+    """Figure 1 end to end: poison the pool generation, then shift the clock."""
+
+    name = "chronos_pool_attack"
+    description = ("DNS poisoning of Chronos' 24-query pool generation "
+                   "followed by the time-shifting phase (§IV)")
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "poison_at_query": 3,
+            "benign_server_count": 200,
+            "attacker_record_count": None,
+            "malicious_ttl": 2 * 86400,
+            "hijack_duration": 600.0,
+            "dedupe": True,
+            "max_addresses_per_response": None,
+            "max_accepted_ttl": None,
+            "run_time_shift": True,
+            "target_shift": 600.0,
+            "update_rounds": 5,
+        }
+
+    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+        p = merge_params(self.default_params(), params)
+        policy = PoolGenerationPolicy(
+            dedupe=p["dedupe"],
+            max_addresses_per_response=p["max_addresses_per_response"],
+            max_accepted_ttl=p["max_accepted_ttl"],
+        )
+        config = PoolAttackConfig(
+            seed=seed,
+            poison_at_query=p["poison_at_query"],
+            benign_server_count=p["benign_server_count"],
+            attacker_record_count=p["attacker_record_count"],
+            malicious_ttl=p["malicious_ttl"],
+            hijack_duration=p["hijack_duration"],
+            pool_policy=policy,
+        )
+        scenario = ChronosPoolAttackScenario(config)
+        pool = scenario.run_pool_generation()
+        metrics: Dict[str, Any] = {
+            "attack_succeeded": pool.attack_succeeded,
+            "attacker_fraction": pool.attacker_fraction,
+            "benign": pool.composition.benign,
+            "malicious": pool.composition.malicious,
+            "pool_size": pool.pool.size,
+            "cache_hits": pool.cache_hits_during_generation,
+            "poisoned_queries": list(pool.poisoned_queries),
+        }
+        if p["run_time_shift"]:
+            shift = scenario.run_time_shift(p["target_shift"],
+                                            update_rounds=p["update_rounds"])
+            metrics.update(
+                achieved_shift=shift.achieved_error,
+                shift_achieved=shift.shift_achieved,
+                updates_run=shift.updates_run,
+                panic_rounds=shift.panic_rounds,
+            )
+        return metrics
+
+
+@register_scenario
+class TraditionalClientAttackExperiment:
+    """The baseline comparison: poison a plain NTP client's one DNS lookup."""
+
+    name = "traditional_client_attack"
+    description = ("DNS poisoning of a traditional NTP client's start-up "
+                   "resolution followed by time shifting (E6/E9 baseline)")
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "poison_startup_lookup": True,
+            "benign_server_count": 50,
+            "attacker_record_count": 4,
+            "malicious_ttl": 2 * 86400,
+            "max_servers": 4,
+            "target_shift": 600.0,
+            "poll_rounds": 4,
+        }
+
+    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+        p = merge_params(self.default_params(), params)
+        config = BaselineAttackConfig(
+            seed=seed,
+            poison_startup_lookup=p["poison_startup_lookup"],
+            benign_server_count=p["benign_server_count"],
+            attacker_record_count=p["attacker_record_count"],
+            malicious_ttl=p["malicious_ttl"],
+            max_servers=p["max_servers"],
+        )
+        scenario = TraditionalClientAttackScenario(config)
+        result = scenario.run(p["target_shift"], poll_rounds=p["poll_rounds"])
+        return {
+            "attack_succeeded": result.attack_succeeded,
+            "achieved_shift": result.achieved_error,
+            "servers_used": len(result.servers_used),
+            "malicious_servers_used": result.malicious_servers_used,
+            "polls_run": result.polls_run,
+        }
+
+
+@register_scenario
+class BGPHijackExperiment:
+    """The prefix-hijack poisoning vector on its own (§II)."""
+
+    name = "bgp_hijack"
+    description = ("cache poisoning of the victim resolver via a BGP "
+                   "more-specific hijack of the nameserver prefix (§II)")
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "benign_server_count": 60,
+            "attacker_record_count": None,
+            "malicious_ttl": 2 * 86400,
+            "hijack_start": 0.0,
+            "hijack_duration": 30.0,
+            "lookup_time": 5.0,
+        }
+
+    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+        p = merge_params(self.default_params(), params)
+        config = BGPHijackConfig(
+            seed=seed,
+            benign_server_count=p["benign_server_count"],
+            attacker_record_count=p["attacker_record_count"],
+            malicious_ttl=p["malicious_ttl"],
+            hijack_start=p["hijack_start"],
+            hijack_duration=p["hijack_duration"],
+            lookup_time=p["lookup_time"],
+        )
+        result = BGPHijackScenario(config).run()
+        return {
+            "attack_succeeded": result.attack_succeeded,
+            "cache_poisoned": result.cache_poisoned,
+            "malicious_records_cached": result.malicious_records_cached,
+            "cached_ttl": result.cached_ttl,
+            "legitimate_queries_answered": result.legitimate_queries_answered,
+            "hijacked_queries_answered": result.hijacked_queries_answered,
+        }
+
+
+@register_scenario
+class FragPoisoningExperiment:
+    """The defragmentation-cache injection poisoning vector (§II.A)."""
+
+    name = "frag_poisoning"
+    description = ("cache poisoning via spoofed trailing IPv4 fragments "
+                   "spliced into the nameserver's fragmented response (§II.A)")
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "benign_server_count": 60,
+            "records_per_response": 40,
+            "nameserver_min_mtu": 548,
+            "accept_fragments": True,
+            "checksum_oracle": True,
+            "ipid_window": 16,
+            "starting_ipid": None,
+            "attacker_record_count": None,
+            "malicious_ttl": 2 * 86400,
+        }
+
+    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+        p = merge_params(self.default_params(), params)
+        config = FragPoisoningConfig(
+            seed=seed,
+            benign_server_count=p["benign_server_count"],
+            records_per_response=p["records_per_response"],
+            nameserver_min_mtu=p["nameserver_min_mtu"],
+            accept_fragments=p["accept_fragments"],
+            checksum_oracle=p["checksum_oracle"],
+            ipid_window=p["ipid_window"],
+            starting_ipid=p["starting_ipid"],
+            attacker_record_count=p["attacker_record_count"],
+            malicious_ttl=p["malicious_ttl"],
+        )
+        result = FragPoisoningScenario(config).run()
+        return {
+            "attack_succeeded": result.attack_succeeded,
+            "cache_poisoned": result.cache_poisoned,
+            "planted_fragments": result.planted_fragments,
+            "poisoned_records_cached": result.poisoned_records_cached,
+            "records_cached": result.records_cached,
+        }
