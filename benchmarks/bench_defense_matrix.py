@@ -1,0 +1,52 @@
+"""E-matrix: the attack × defense grid as a determinism + wall-clock gate.
+
+Runs the full default matrix (5 attacks × 10 stacks) twice — ``workers=1``
+and ``workers=4`` — and asserts the two grids are byte-identical (SHA-256
+over every cell's canonical record encoding) and that the §V residual-hijack
+cell stays at 1.0.  On hosts with at least 4 usable CPUs the parallel run
+must also beat the sequential one (default ≥1.5x, override with
+``MATRIX_MIN_SPEEDUP``), and the parallel wall-clock must stay under a smoke
+budget (default 60 s, override with ``MATRIX_MAX_SECONDS``) so grid growth
+that would make matrix sweeps impractical fails loudly.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import emit, usable_cpus
+
+from repro.experiments import run_defense_matrix
+
+SEEDS = (1, 2)
+
+
+def run_pair():
+    return (run_defense_matrix(seeds=SEEDS, workers=1),
+            run_defense_matrix(seeds=SEEDS, workers=4))
+
+
+def test_defense_matrix_is_deterministic_and_fast(benchmark):
+    sequential, parallel = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    speedup = sequential.elapsed_seconds / max(parallel.elapsed_seconds, 1e-9)
+    cpus = usable_cpus()
+    min_speedup = float(os.environ.get("MATRIX_MIN_SPEEDUP", "1.5"))
+    max_seconds = float(os.environ.get("MATRIX_MAX_SECONDS", "60"))
+    emit("E-matrix — 5-attack × 10-stack defense grid, workers=1 vs workers=4", [
+        *parallel.formatted(),
+        f"workers=1 wall-clock: {sequential.elapsed_seconds:.2f}s",
+        f"workers=4 wall-clock: {parallel.elapsed_seconds:.2f}s "
+        f"(speedup {speedup:.2f}x on {cpus} usable CPUs)",
+        f"digests equal: {sequential.digest() == parallel.digest()}",
+        f"residual 24h-hijack success: {parallel.residual_hijack_rate():.2f}",
+    ])
+    assert sequential.digest() == parallel.digest()
+    assert sequential.success_table() == parallel.success_table()
+    assert parallel.residual_hijack_rate() == 1.0
+    if cpus >= 4:
+        assert speedup >= min_speedup, (
+            f"expected >={min_speedup}x speedup with 4 workers on {cpus} usable "
+            f"CPUs, got {speedup:.2f}x")
+        assert parallel.elapsed_seconds <= max_seconds, (
+            f"matrix smoke budget exceeded: {parallel.elapsed_seconds:.1f}s "
+            f"> {max_seconds:.0f}s")

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 
-from conftest import emit
+from conftest import emit, usable_cpus
 
 from repro.experiments import ExperimentRunner
 
@@ -31,42 +31,10 @@ def run_pair():
     return _sweep(1), _sweep(4)
 
 
-def _cgroup_cpu_quota() -> float:
-    """Effective CPU limit from cgroup v2/v1 quotas (inf when unlimited).
-
-    Containers commonly expose the host's full affinity mask while a CFS
-    quota caps actual parallelism; gating the speedup assertion on the mask
-    alone would then fail for pure timing reasons.
-    """
-    try:  # cgroup v2
-        quota, period = open("/sys/fs/cgroup/cpu.max").read().split()[:2]
-        if quota != "max":
-            return float(quota) / float(period)
-    except (OSError, ValueError):
-        pass
-    try:  # cgroup v1
-        quota = int(open("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").read())
-        period = int(open("/sys/fs/cgroup/cpu/cpu.cfs_period_us").read())
-        if quota > 0:
-            return quota / period
-    except (OSError, ValueError):
-        pass
-    return float("inf")
-
-
-def _usable_cpus() -> int:
-    """CPUs this process may actually run on (affinity- and quota-aware)."""
-    try:
-        affinity = len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        affinity = os.cpu_count() or 1
-    return int(min(affinity, _cgroup_cpu_quota()))
-
-
 def test_parallel_sweep_is_deterministic_and_faster(benchmark):
     sequential, parallel = benchmark.pedantic(run_pair, rounds=1, iterations=1)
     speedup = sequential.elapsed_seconds / max(parallel.elapsed_seconds, 1e-9)
-    cpus = _usable_cpus()
+    cpus = usable_cpus()
     min_speedup = float(os.environ.get("SWEEP_MIN_SPEEDUP", "2.0"))
     emit("E-sweep — 16-seed pool-attack sweep, workers=1 vs workers=4", [
         *sequential.summary_lines(),

@@ -18,3 +18,37 @@ def emit(title: str, lines: Iterable[str]) -> None:
     print(f"=== {title} ===")
     for line in lines:
         print(line)
+
+
+def cgroup_cpu_quota() -> float:
+    """Effective CPU limit from cgroup v2/v1 quotas (inf when unlimited).
+
+    Containers commonly expose the host's full affinity mask while a CFS
+    quota caps actual parallelism; gating speedup assertions on the mask
+    alone would then fail for pure timing reasons.
+    """
+    try:  # cgroup v2
+        quota, period = open("/sys/fs/cgroup/cpu.max").read().split()[:2]
+        if quota != "max":
+            return float(quota) / float(period)
+    except (OSError, ValueError):
+        pass
+    try:  # cgroup v1
+        quota = int(open("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").read())
+        period = int(open("/sys/fs/cgroup/cpu/cpu.cfs_period_us").read())
+        if quota > 0:
+            return quota / period
+    except (OSError, ValueError):
+        pass
+    return float("inf")
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity- and quota-aware)."""
+    import os
+
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        affinity = os.cpu_count() or 1
+    return int(min(affinity, cgroup_cpu_quota()))

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Run the attack × defense matrix and reproduce the §V mitigation table.
+
+Every attack scenario (both poisoning vectors, the end-to-end Chronos pool
+attack, the sustained 24-hour-hijack variant, and the traditional-client
+baseline) runs under every named defense stack — from the bare classic
+defenses through DNS-0x20/cookies, fragment handling, the §V mitigations,
+vantage cross-checking and DNSSEC-style signing.  The printed grid *is* the
+paper's argument:
+
+* the classic defenses and the entropy hardenings stop neither vector;
+* fragment rejection stops only the defragmentation splice;
+* the §V mitigations stop a single poisoning but the sustained-hijack row
+  stays at 1.0 — the residual risk the paper concedes;
+* only content authentication (the ``dnssec`` column) clears every row.
+
+Run with:  python examples/defense_matrix.py [seeds] [workers]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import section5_from_matrix
+from repro.experiments import run_defense_matrix
+
+
+def main(seed_count: int = 2, workers: int = 1) -> None:
+    matrix = run_defense_matrix(seeds=range(1, seed_count + 1), workers=workers)
+    print(f"== attack × defense matrix: success rates "
+          f"({matrix.elapsed_seconds:.1f}s, workers={workers}) ==")
+    for line in matrix.formatted():
+        print(line)
+    print(f"\nmatrix digest (byte-identical across worker counts): {matrix.digest()}")
+
+    print("\n== the §V mitigation table as a matrix cell-slice ==")
+    comparisons = section5_from_matrix(matrix)
+    for comparison in comparisons:
+        print(comparison.formatted())
+    agree = all(c.verdict_agrees and c.fraction_agrees for c in comparisons)
+    print(f"\nanalytic table reproduced: {agree}")
+    print(f"residual 24h-hijack success under both mitigations: "
+          f"{matrix.residual_hijack_rate():.2f}  (the paper's point: the DNS "
+          f"dependency itself remains the pitfall)")
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    try:
+        seed_count = int(argv[0]) if argv else 2
+        worker_count = int(argv[1]) if len(argv) > 1 else 1
+    except ValueError:
+        sys.exit("usage: defense_matrix.py [seeds] [workers]")
+    main(seed_count=seed_count, workers=worker_count)

@@ -8,44 +8,51 @@ made to issue queries by a third party.  The populations here are synthetic
 (see DESIGN.md for the substitution rationale), but the probe/classify/
 aggregate pipeline is the same one a live measurement would run.
 
-Run with:  python examples/dns_measurement_study.py
+The study is registered as the ``dns_measurement`` scenario, so this example
+drives it through the experiment engine: a multi-seed (optionally parallel)
+sweep whose aggregates carry confidence intervals for every fraction.
+
+Run with:  python examples/dns_measurement_study.py [seeds] [workers]
 """
 
 from __future__ import annotations
 
-from repro.analysis import VectorFeasibilityRow, mtu_sweep, vulnerable_pair_fraction
-from repro.measurement import (
-    generate_nameserver_population,
-    generate_resolver_population,
-    run_nameserver_study,
-    run_resolver_study,
-)
+import sys
+
+from repro.analysis import VectorFeasibilityRow, mtu_sweep
+from repro.experiments import ExperimentRunner
 
 
-def main() -> None:
-    print("== pool.ntp.org nameserver study ==")
-    nameservers = generate_nameserver_population(seed=1)
-    ns_report = run_nameserver_study(nameservers)
-    print("  " + ns_report.summary_row())
-    print(f"  (fragmenting at all: {ns_report.fragmenting}, "
-          f"DNSSEC-enabled: {ns_report.dnssec_enabled})")
+def main(seed_count: int = 8, workers: int = 1) -> None:
+    result = ExperimentRunner(
+        "dns_measurement",
+        seeds=range(seed_count),
+        workers=workers,
+    ).run()
 
-    print("\n== resolver study (ad-network style) ==")
-    resolvers = generate_resolver_population(seed=1, total=5000)
-    resolver_report = run_resolver_study(resolvers)
-    for line in resolver_report.summary_rows():
-        print("  " + line)
-    print(f"  trigger methods: {resolver_report.by_trigger_method}")
+    print(f"== §II measurement study: {len(result)} synthetic populations "
+          f"({result.elapsed_seconds:.2f}s, workers={workers}) ==")
+    first = result.records[0].metrics
+    print(f"  nameservers usable for fragmentation poisoning: "
+          f"{first['nameservers_fragmenting_without_dnssec']} of 30 (every seed: "
+          f"{sorted(set(result.values('nameservers_fragmenting_without_dnssec')))})")
+    for key in ("accept_any_fraction", "accept_minimum_fraction",
+                "triggerable_fraction", "vulnerable_pair_fraction"):
+        interval = result.mean_interval(key)
+        print(f"  {key}: mean {result.mean(key):.3f} {interval.formatted()}")
+    print(f"  digest: {result.digest()}")
 
     print("\n== fragmentation-vector feasibility vs nameserver MTU (E7) ==")
     print("  " + VectorFeasibilityRow.header())
     for row in mtu_sweep():
         print("  " + row.formatted())
 
-    fraction = vulnerable_pair_fraction(nameservers, resolvers[:200])
-    print(f"\n  fraction of (nameserver, resolver) pairs where the "
-          f"fragmentation vector is feasible: {fraction:.2%}")
-
 
 if __name__ == "__main__":
-    main()
+    argv = sys.argv[1:]
+    try:
+        seed_count = int(argv[0]) if argv else 8
+        worker_count = int(argv[1]) if len(argv) > 1 else 1
+    except ValueError:
+        sys.exit("usage: dns_measurement_study.py [seeds] [workers]")
+    main(seed_count=seed_count, workers=worker_count)

@@ -11,7 +11,15 @@ from .effort import (
     poisoning_success_probability,
     shift_effort_table,
 )
-from .mitigations import MitigationRow, analytic_mitigation_table, simulated_mitigation_table
+from .mitigations import (
+    MITIGATION_CASES,
+    SECTION5_MATRIX_CELLS,
+    MitigationRow,
+    Section5CellComparison,
+    analytic_mitigation_table,
+    section5_from_matrix,
+    simulated_mitigation_table,
+)
 from .poisoning_vectors import (
     VectorFeasibilityRow,
     feasibility_row,
@@ -45,8 +53,12 @@ __all__ = [
     "fraction_sweep_table",
     "poisoning_success_probability",
     "shift_effort_table",
+    "MITIGATION_CASES",
+    "SECTION5_MATRIX_CELLS",
     "MitigationRow",
+    "Section5CellComparison",
     "analytic_mitigation_table",
+    "section5_from_matrix",
     "simulated_mitigation_table",
     "VectorFeasibilityRow",
     "feasibility_row",

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..core.security_analysis import (
-    SECONDS_PER_YEAR,
     CumulativeShiftBound,
     ShiftAttackBound,
     cumulative_shift_bound,

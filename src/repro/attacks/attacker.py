@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence
 from ..dns.message import MAX_UNFRAGMENTED_UDP_PAYLOAD, max_a_records_for_payload
 from ..dns.nameserver import AuthoritativeNameserver, DNS_PORT
 from ..dns.records import SECONDS_PER_DAY, ResourceRecord, a_record
-from ..dns.message import DNSMessage, ResponseCode
+from ..dns.message import DNSMessage
 from ..dns.records import RecordType
 from ..netsim.addresses import AddressAllocator
 from ..netsim.network import Network

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..defenses.stack import DefenseSpec
 from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE
 from ..experiments.testbed import Testbed, TestbedConfig, build_testbed
 from ..ntp.client import TraditionalNTPClient
@@ -42,6 +43,8 @@ class BaselineAttackConfig:
     malicious_ttl: int = 2 * 86400
     poll_interval: float = 64.0
     max_servers: int = 4
+    #: Extra countermeasures stacked on the resolver and the NTP sampling.
+    defenses: DefenseSpec = ()
     latency: float = 0.01
 
 
@@ -79,6 +82,7 @@ class TraditionalClientAttackScenario:
                 attacker_record_count=self.config.attacker_record_count,
                 malicious_ttl=self.config.malicious_ttl,
                 attacker_nameserver_address="198.51.100.254",
+                defenses=self.config.defenses,
             ),
             victim_factory=self._build_client,
         )
@@ -99,6 +103,7 @@ class TraditionalClientAttackScenario:
             hostname=self.config.zone,
             max_servers=self.config.max_servers,
             poll_interval=self.config.poll_interval,
+            defenses=testbed.defenses,
         )
 
     def run(self, target_shift: float, poll_rounds: int = 4) -> BaselineAttackResult:

@@ -11,9 +11,10 @@ the forged records (many addresses, huge TTL) enter the cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
+from ..defenses.stack import DefenseSpec
 from ..dns.records import RecordType
 from ..dns.resolver import RecursiveResolver
 from ..experiments.testbed import DEFAULT_ZONE, TestbedConfig, build_testbed
@@ -114,6 +115,8 @@ class BGPHijackConfig:
     hijack_duration: float = 30.0
     #: When the victim resolver's lookup is triggered.
     lookup_time: float = 5.0
+    #: Extra countermeasures stacked on the victim resolver.
+    defenses: DefenseSpec = ()
     latency: float = 0.01
 
 
@@ -147,6 +150,7 @@ class BGPHijackScenario:
             benign_address_block="10.30.0.0/16",
             attacker_record_count=self.config.attacker_record_count,
             malicious_ttl=self.config.malicious_ttl,
+            defenses=self.config.defenses,
         ))
         self.simulator = self.testbed.simulator
         self.network = self.testbed.network

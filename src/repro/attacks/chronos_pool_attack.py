@@ -27,6 +27,7 @@ from typing import List, Optional
 from ..core.chronos_client import ChronosClient
 from ..core.pool_generation import GeneratedPool, PoolComposition, PoolGenerationPolicy
 from ..core.selection import ChronosConfig
+from ..defenses.stack import DefenseSpec
 from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE
 from ..dns.resolver import ResolverPolicy
 from ..experiments.testbed import DEFAULT_ZONE, Testbed, TestbedConfig, build_testbed
@@ -61,6 +62,9 @@ class PoolAttackConfig:
     pool_policy: PoolGenerationPolicy = field(default_factory=PoolGenerationPolicy)
     #: Resolver-side policy (TTL caps, record caps, fragment acceptance).
     resolver_policy: ResolverPolicy = field(default_factory=ResolverPolicy)
+    #: Extra countermeasures (registry names and/or instances) stacked on the
+    #: resolver, the pool generation and the NTP sampling.
+    defenses: DefenseSpec = ()
     #: Mean one-way network latency (seconds).
     latency: float = 0.01
 
@@ -118,6 +122,7 @@ class ChronosPoolAttackScenario:
                 records_per_response=self.config.records_per_response,
                 benign_ttl=self.config.benign_ttl,
                 resolver_policy=self.config.resolver_policy,
+                defenses=self.config.defenses,
                 attacker_record_count=self.config.attacker_record_count,
                 malicious_ttl=self.config.malicious_ttl,
             ),
@@ -141,6 +146,7 @@ class ChronosPoolAttackScenario:
             hostname=self.config.zone,
             config=self.config.chronos,
             pool_policy=self.config.pool_policy,
+            defenses=testbed.defenses,
         )
 
     # -- running -----------------------------------------------------------------

@@ -26,17 +26,19 @@ in the trailing fragment(s).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
 
+from ..defenses.hardening import DNSCookies
+from ..defenses.stack import DefenseSpec
 from ..dns.message import DNSMessage
 from ..dns.nameserver import DNS_PORT, POOL_NTP_ORG_TTL, PoolNTPNameserver
-from ..dns.records import RecordType, ResourceRecord, a_record
+from ..dns.records import RecordType, a_record, signature_record
 from ..dns.resolver import RecursiveResolver, ResolverPolicy
 from ..experiments.testbed import DEFAULT_ZONE, TestbedConfig, build_testbed
 from ..netsim.fragmentation import fragment_datagram
 from ..netsim.network import Network
-from ..netsim.packets import IPPacket, IPV4_HEADER_SIZE, UDPDatagram, udp_checksum
+from ..netsim.packets import IPPacket, UDPDatagram
 from .attacker import DEFAULT_MALICIOUS_TTL, AttackerInfrastructure
 
 
@@ -120,15 +122,21 @@ class FragmentationPoisoner:
 
         The record count is preserved (it lives in the header, inside the
         first — genuine — fragment); the attacker substitutes its own server
-        addresses and a high TTL for every record position it can reach.
+        addresses and a high TTL for every A-record position it can reach.
+        A signature record in the model is mirrored position-for-position —
+        its fixed-size digest keeps the byte layout aligned — but its value
+        is forged, which is exactly what a validating resolver catches.
         """
-        count = len(benign.answers)
+        count = sum(1 for record in benign.answers if record.rtype == RecordType.A)
         addresses = self.attacker.ntp_addresses[:count]
         answers = [a_record(benign.question.name, address, self.attacker.malicious_ttl)
                    for address in addresses]
         # Pad with repeats if the attacker has fewer servers than positions.
         while len(answers) < count:
             answers.append(a_record(benign.question.name, addresses[-1], self.attacker.malicious_ttl))
+        if any(record.rtype == RecordType.TXT for record in benign.answers):
+            answers.append(signature_record("attacker-forged-key",
+                                            benign.question.name, answers))
         return benign.make_response(answers)
 
     def craft_spoofed_fragments(self, benign_response: DNSMessage, udp_src_port: int,
@@ -253,6 +261,8 @@ class FragPoisoningConfig:
     starting_ipid: Optional[int] = None
     attacker_record_count: Optional[int] = None
     malicious_ttl: int = DEFAULT_MALICIOUS_TTL
+    #: Extra countermeasures stacked on the victim resolver.
+    defenses: DefenseSpec = ()
     latency: float = 0.01
 
 
@@ -288,6 +298,7 @@ class FragPoisoningScenario:
             nameserver_min_mtu=self.config.nameserver_min_mtu,
             resolver_policy=ResolverPolicy(
                 accept_fragmented_responses=self.config.accept_fragments),
+            defenses=self.config.defenses,
             attacker_record_count=self.config.attacker_record_count,
             malicious_ttl=self.config.malicious_ttl,
             with_hijacker=False,
@@ -312,12 +323,22 @@ class FragPoisoningScenario:
 
         Only the shape matters (record count and fixed A-record encoding);
         the attacker cannot observe which concrete addresses the nameserver
-        rotates into the real answer.
+        rotates into the real answer.  Deployed hardenings are *observable*
+        shape too — an attacker probing the resolver/zone sees cookies and
+        signature records on the wire — so the model mirrors their byte
+        layout with placeholder values: the real cookie sits in the genuine
+        first fragment, and the forged signature value is simply wrong
+        (the attacker holds no zone key).
         """
         addresses = self.nameserver.pool_servers[: self.config.records_per_response]
-        return DNSMessage.query(0, self.config.zone).make_response(
-            [a_record(self.config.zone, address, self.config.benign_ttl)
-             for address in addresses])
+        answers = [a_record(self.config.zone, address, self.config.benign_ttl)
+                   for address in addresses]
+        if self.testbed.config.zone_key is not None:
+            answers.append(signature_record("attacker-forged-key", self.config.zone, answers))
+        message = DNSMessage.query(0, self.config.zone).make_response(answers)
+        if any(isinstance(defense, DNSCookies) for defense in self.resolver.defenses):
+            message = replace(message, cookie=0)
+        return message
 
     def run(self) -> FragPoisoningResult:
         report = self.poisoner.plant_fragments(self.expected_response(),

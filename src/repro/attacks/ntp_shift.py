@@ -11,10 +11,10 @@ experiments can measure the shift actually achieved on the victim clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from ..core.chronos_client import ChronosClient
-from ..core.selection import ChronosConfig, chronos_select, panic_select
+from ..core.selection import ChronosConfig, chronos_select
 from ..ntp.client import TraditionalNTPClient
 from ..ntp.selection import ntpd_select
 from ..ntp.query import TimeSample

@@ -11,10 +11,9 @@ spoofed fragments immediately before a query it knows is coming.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-from ..dns.nameserver import DNS_PORT
 from ..dns.resolver import DNSStub, RecursiveResolver
 from ..netsim.network import Host, Network
 from ..netsim.packets import UDPDatagram

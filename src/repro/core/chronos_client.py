@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..defenses.stack import DefenseStack
 from ..dns.resolver import DNSStub
 from ..netsim.network import Host, Network
 from ..netsim.packets import UDPDatagram
@@ -61,14 +62,19 @@ class ChronosClient(Host):
                  config: Optional[ChronosConfig] = None,
                  pool_policy: Optional[PoolGenerationPolicy] = None,
                  clock: Optional[SystemClock] = None,
-                 name: Optional[str] = None) -> None:
+                 name: Optional[str] = None,
+                 defenses: Optional[DefenseStack] = None) -> None:
         super().__init__(network, address, name=name or f"chronos-{address}")
         self.config = config or ChronosConfig()
         self.clock = clock or SystemClock(network.simulator)
         self.dns = DNSStub(self, resolver_address)
         self.querier = NTPQuerier(self, self.clock)
+        #: Client-side hooks of the experiment's defense stack (pool
+        #: admission filtering and NTP-sample vetoes).
+        self.defenses = defenses
         self.pool_generator = ChronosPoolGenerator(self.dns, hostname=hostname,
-                                                   policy=pool_policy)
+                                                   policy=pool_policy,
+                                                   defenses=defenses)
         self.hostname = hostname
         self.pool: Optional[GeneratedPool] = None
         self.update_history: List[ChronosUpdateRecord] = []
@@ -140,6 +146,9 @@ class ChronosClient(Host):
     def _on_sample(self, record: ChronosUpdateRecord, sample: Optional[TimeSample]) -> None:
         if record is not self._current:
             return
+        if (sample is not None and self.defenses is not None
+                and not self.defenses.on_ntp_sample(sample)):
+            sample = None  # vetoed by a defense; treat like a lost exchange
         if sample is not None:
             record.samples.append(sample)
         self._outstanding -= 1

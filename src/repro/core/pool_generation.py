@@ -24,6 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+from ..defenses.base import HIGH_TTL_REASON, PoolAcceptContext
+from ..defenses.pool import pool_policy_defenses
+from ..defenses.stack import DefenseStack
 from ..dns.message import DNSMessage
 from ..dns.records import RecordType
 from ..dns.resolver import DNSStub
@@ -118,13 +121,23 @@ PoolCallback = Callable[[GeneratedPool], None]
 
 
 class ChronosPoolGenerator:
-    """Runs the 24-hourly-query pool generation over a host's DNS stub."""
+    """Runs the 24-hourly-query pool generation over a host's DNS stub.
+
+    Response acceptance is a defense pipeline: the experiment's configured
+    stack first (so cross-checking defenses see the raw response), then the
+    policy's §V mitigation knobs — which are materialised as the *same*
+    :class:`~repro.defenses.base.Defense` classes, keeping the analytic
+    mitigation table and the packet-level simulation on one definition.
+    """
 
     def __init__(self, dns: DNSStub, hostname: str = "pool.ntp.org",
-                 policy: Optional[PoolGenerationPolicy] = None) -> None:
+                 policy: Optional[PoolGenerationPolicy] = None,
+                 defenses: Optional[DefenseStack] = None) -> None:
         self.dns = dns
         self.hostname = hostname
         self.policy = policy or PoolGenerationPolicy()
+        self.defenses = defenses
+        self._policy_defenses = DefenseStack(pool_policy_defenses(self.policy))
         self.queries: List[PoolQueryRecord] = []
         self._servers: List[str] = []
         self._seen = set()
@@ -170,15 +183,16 @@ class ChronosPoolGenerator:
             a_records = [rr for rr in response.answers if rr.rtype == RecordType.A]
             record.addresses = [rr.rdata for rr in a_records]
             record.min_ttl = min((rr.ttl for rr in a_records), default=None)
-            accepted = list(record.addresses)
-            if (self.policy.max_accepted_ttl is not None and record.min_ttl is not None
-                    and record.min_ttl > self.policy.max_accepted_ttl):
-                record.rejected_high_ttl = True
-                accepted = []
-            if self.policy.max_addresses_per_response is not None:
-                accepted = accepted[: self.policy.max_addresses_per_response]
-            record.accepted_addresses = accepted
-            self._absorb(accepted)
+            context = PoolAcceptContext(addresses=list(record.addresses),
+                                        min_ttl=record.min_ttl,
+                                        response=response)
+            if self.defenses is not None:
+                self.defenses.on_pool_accept(context)
+            if context.rejected_by is None:
+                self._policy_defenses.on_pool_accept(context)
+            record.rejected_high_ttl = context.rejected_reason == HIGH_TTL_REASON
+            record.accepted_addresses = list(context.addresses)
+            self._absorb(record.accepted_addresses)
         next_index = index + 1
         if next_index >= self.policy.query_count:
             self._finish()

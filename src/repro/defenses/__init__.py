@@ -1,0 +1,89 @@
+"""repro.defenses — composable DNS/NTP countermeasures.
+
+A :class:`Defense` is a small object with lifecycle hooks (configure/attach
+testbed, outgoing query, incoming response, pool admission, NTP sample); a
+:class:`DefenseStack` composes them deterministically; the registry makes
+every defense buildable from a plain name so experiment configs stay flat
+and picklable.
+
+Quick start::
+
+    from repro.experiments import run_scenario
+
+    # Any attack scenario accepts a ``defenses`` tuple of registry names:
+    metrics = run_scenario("bgp_hijack", seed=1,
+                           params={"defenses": ("multi_vantage",)})
+
+The built-in defenses span both protocol layers:
+
+========================  =====================================================
+``random_txid``           random DNS transaction ids (classic, RFC 5452)
+``random_source_port``    random resolver source ports (classic, RFC 5452)
+``response_matching``     source-address + question echo validation (classic)
+``fragment_rejection``    refuse responses reassembled from spoofed fragments
+``response_record_cap``   resolver-side cap on records accepted per response
+``cache_ttl_cap``         resolver-side cap on cached TTLs
+``dns_0x20``              query-name case randomisation + echo verification
+``dns_cookies``           RFC 7873-style cookie echo verification
+``pmtu_floor``            nameserver refuses to fragment responses
+``response_signing``      DNSSEC-style RRset signing + validation
+``address_cap``           §V mitigation 1: ≤4 addresses per response (pool)
+``ttl_discard``           §V mitigation 2: discard high-TTL responses (pool)
+``multi_vantage``         cross-check responses/pool/samples against vantage
+                          observations of the zone profile and true time
+========================  =====================================================
+"""
+
+from .base import (
+    HIGH_TTL_REASON,
+    Defense,
+    PoolAcceptContext,
+    QueryContext,
+    ResponseContext,
+)
+from .classic import (
+    CacheTTLCap,
+    FragmentedResponseRejection,
+    RandomSourcePort,
+    RandomTransactionID,
+    ResponseMatching,
+    ResponseRecordCap,
+    default_resolver_defenses,
+)
+from .hardening import DNS0x20Encoding, DNSCookies, PMTUFloor, ResponseSigning
+from .pool import (
+    HighTTLDiscard,
+    MultiVantageCrossCheck,
+    PerResponseAddressCap,
+    pool_policy_defenses,
+)
+from .registry import available_defenses, build_defense, register_defense
+from .stack import DefenseSpec, DefenseStack
+
+__all__ = [
+    "HIGH_TTL_REASON",
+    "Defense",
+    "PoolAcceptContext",
+    "QueryContext",
+    "ResponseContext",
+    "CacheTTLCap",
+    "FragmentedResponseRejection",
+    "RandomSourcePort",
+    "RandomTransactionID",
+    "ResponseMatching",
+    "ResponseRecordCap",
+    "default_resolver_defenses",
+    "DNS0x20Encoding",
+    "DNSCookies",
+    "PMTUFloor",
+    "ResponseSigning",
+    "HighTTLDiscard",
+    "MultiVantageCrossCheck",
+    "PerResponseAddressCap",
+    "pool_policy_defenses",
+    "available_defenses",
+    "build_defense",
+    "register_defense",
+    "DefenseSpec",
+    "DefenseStack",
+]

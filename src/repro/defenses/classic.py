@@ -1,0 +1,139 @@
+"""The classic off-path defenses every real resolver already deploys.
+
+These are the protections the paper's §II takes as *given* — and then goes
+around: random transaction ids and source ports (RFC 5452), response
+matching (source address + question echo), and the resolver-side caps some
+operators add on top.  Before the defense subsystem existed they were inline
+code in :class:`repro.dns.resolver.RecursiveResolver`; now they are stack
+members, and :func:`default_resolver_defenses` translates a
+:class:`~repro.dns.resolver.ResolverPolicy` into the equivalent stack prefix
+so existing policy-driven configurations behave exactly as before.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from .base import Defense, QueryContext, ResponseContext
+from .registry import register_defense
+
+if TYPE_CHECKING:
+    from ..dns.resolver import ResolverPolicy
+
+
+@register_defense
+class RandomTransactionID(Defense):
+    """Randomise the 16-bit DNS transaction id per query (RFC 5452)."""
+
+    name = "random_txid"
+
+    def on_outgoing_query(self, ctx: QueryContext) -> None:
+        ctx.transaction_id = ctx.rng.randrange(0, 0x10000)
+
+
+@register_defense
+class RandomSourcePort(Defense):
+    """Randomise the resolver's UDP source port per query (RFC 5452)."""
+
+    name = "random_source_port"
+
+    def on_outgoing_query(self, ctx: QueryContext) -> None:
+        ctx.source_port = ctx.rng.randrange(20000, 60000)
+
+
+@register_defense
+class ResponseMatching(Defense):
+    """Match a response's port, source address and question to the query.
+
+    This is the validation the paper's two vectors bypass wholesale: after a
+    BGP hijack the attacker *receives* the query and can echo everything, and
+    in the fragmentation attack every matched field lives in the genuine
+    first fragment.
+    """
+
+    name = "response_matching"
+
+    def __init__(self, check_source_address: bool = True) -> None:
+        self.check_source_address = check_source_address
+
+    def on_incoming_response(self, ctx: ResponseContext) -> Optional[str]:
+        if ctx.datagram.dst_port != ctx.query.source_port:
+            return "destination port does not match the query's source port"
+        if self.check_source_address and ctx.datagram.src_ip != ctx.query.nameserver_address:
+            return "source address is not the queried nameserver"
+        if not ctx.response.matches_query(ctx.query.query):
+            return "transaction id or question mismatch"
+        return None
+
+
+@register_defense
+class FragmentedResponseRejection(Defense):
+    """Refuse responses reassembled with spoofed fragments.
+
+    The companion measurement found ~10% of resolvers do not accept
+    fragmented responses at all; they are immune to the defragmentation
+    vector.  The simulation models that hardening as rejecting any response
+    whose reassembly involved a spoofed fragment — a benign-path resolver
+    never sees the difference, so the observable effect is identical.
+    """
+
+    name = "fragment_rejection"
+
+    def on_incoming_response(self, ctx: ResponseContext) -> Optional[str]:
+        if ctx.poisoned:
+            return "response was reassembled from injected fragments"
+        return None
+
+
+@register_defense
+class ResponseRecordCap(Defense):
+    """Accept at most ``limit`` records from a single response (resolver side)."""
+
+    name = "response_record_cap"
+
+    def __init__(self, limit: int = 4) -> None:
+        self.limit = limit
+
+    def on_incoming_response(self, ctx: ResponseContext) -> Optional[str]:
+        ctx.answers = ctx.answers[: self.limit]
+        return None
+
+
+@register_defense
+class CacheTTLCap(Defense):
+    """Cap the TTL under which any response is cached (resolver side).
+
+    A cap below the 24-hour pool-generation window bounds how long a single
+    poisoned entry can starve the hourly queries — one of the §V directions.
+    """
+
+    name = "cache_ttl_cap"
+
+    def __init__(self, max_ttl: int = 3600) -> None:
+        self.max_ttl = max_ttl
+
+    def on_incoming_response(self, ctx: ResponseContext) -> Optional[str]:
+        ctx.answers = [record if record.ttl <= self.max_ttl
+                       else record.with_ttl(self.max_ttl)
+                       for record in ctx.answers]
+        return None
+
+
+def default_resolver_defenses(policy: "ResolverPolicy") -> List[Defense]:
+    """The stack prefix equivalent to a :class:`ResolverPolicy`.
+
+    Ordering is load-bearing twice over: the transaction id is drawn before
+    the source port (preserving the RNG stream of the pre-refactor resolver,
+    so seeded experiments reproduce bit-for-bit), and response matching runs
+    before any capping defense.
+    """
+    defenses: List[Defense] = []
+    if policy.randomise_source_port:
+        defenses.append(RandomTransactionID())
+        defenses.append(RandomSourcePort())
+    defenses.append(ResponseMatching(check_source_address=policy.check_source_address))
+    if not policy.accept_fragmented_responses:
+        defenses.append(FragmentedResponseRejection())
+    if policy.max_records_per_response is not None:
+        defenses.append(ResponseRecordCap(policy.max_records_per_response))
+    return defenses

@@ -1,0 +1,157 @@
+"""Pool-side and NTP-side countermeasures: the §V mitigations and beyond.
+
+The paper's §V proposes two changes to Chronos' pool generation — accept at
+most 4 addresses from any single DNS response, and discard responses whose
+TTL is suspiciously high.  Both are :class:`Defense` instances here, and the
+legacy :class:`~repro.core.pool_generation.PoolGenerationPolicy` knobs are
+translated into the *same* instances by :func:`pool_policy_defenses`, so the
+analytic mitigation table and the packet-level simulation share one
+definition of each mitigation.
+
+:class:`MultiVantageCrossCheck` goes further than §V: it validates responses
+(and pool admissions, and NTP samples) against what independent vantage
+points observe about the zone — the published response profile (4 records,
+150-second TTL) and roughly-true time.  It degrades the hijack vector's
+*flooding* variant, but an attacker who mimics the public profile under a
+sustained 24-hour hijack still owns the pool: the residual risk §V concedes
+survives every pool-side defense.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..dns.records import RecordType
+from .base import HIGH_TTL_REASON, Defense, PoolAcceptContext, ResponseContext
+from .registry import register_defense
+
+if TYPE_CHECKING:
+    from ..core.pool_generation import PoolGenerationPolicy
+    from ..experiments.testbed import Testbed
+    from ..ntp.query import TimeSample
+
+
+@register_defense
+class PerResponseAddressCap(Defense):
+    """§V mitigation 1: accept at most ``limit`` addresses per DNS response."""
+
+    name = "address_cap"
+
+    def __init__(self, limit: int = 4) -> None:
+        self.limit = limit
+
+    def on_pool_accept(self, ctx: PoolAcceptContext) -> None:
+        ctx.addresses = ctx.addresses[: self.limit]
+
+
+@register_defense
+class HighTTLDiscard(Defense):
+    """§V mitigation 2: discard responses whose minimum TTL exceeds a bound.
+
+    The attack *needs* a TTL longer than the remaining generation window so
+    that later hourly queries starve from cache; a response whose TTL dwarfs
+    the zone's published 150 seconds is therefore discarded outright.
+    """
+
+    name = "ttl_discard"
+
+    def __init__(self, max_ttl: int = 3600) -> None:
+        self.max_ttl = max_ttl
+
+    def on_pool_accept(self, ctx: PoolAcceptContext) -> None:
+        if ctx.min_ttl is not None and ctx.min_ttl > self.max_ttl:
+            ctx.discard(self.name, HIGH_TTL_REASON)
+
+
+@register_defense
+class MultiVantageCrossCheck(Defense):
+    """Cross-check responses, pool admissions and NTP samples against vantage
+    observations.
+
+    What independent vantage points can corroborate about pool.ntp.org is its
+    *published behaviour*: every response carries ``records_per_response``
+    addresses under a short TTL, and the servers serve roughly true time.
+    The defense captures that profile from the built testbed (standing in
+    for out-of-band vantage queries) and rejects:
+
+    * responses carrying more addresses than the profile, or TTLs far above
+      it — which kills the 89-record / 2-day-TTL flood of §IV;
+    * NTP samples whose offset exceeds ``max_sample_offset`` — a vantage
+      majority would contradict them.
+
+    It deliberately does *not* authenticate content, so a profile-mimicking
+    attacker under a sustained hijack walks through — the residual attack.
+    """
+
+    name = "multi_vantage"
+
+    def __init__(self, ttl_tolerance: float = 4.0, ttl_floor: int = 600,
+                 max_sample_offset: float = 60.0) -> None:
+        self.ttl_tolerance = ttl_tolerance
+        self.ttl_floor = ttl_floor
+        self.max_sample_offset = max_sample_offset
+        self._expected_count: Optional[int] = None
+        self._expected_ttl: Optional[int] = None
+
+    def attach_testbed(self, testbed: "Testbed") -> None:
+        self._expected_count = testbed.nameserver.records_per_response
+        self._expected_ttl = testbed.nameserver.ttl
+
+    @property
+    def max_plausible_ttl(self) -> Optional[int]:
+        if self._expected_ttl is None:
+            return None
+        return max(int(self._expected_ttl * self.ttl_tolerance), self.ttl_floor)
+
+    def _profile_violation(self, count: int, highest_ttl: Optional[int]) -> Optional[str]:
+        if self._expected_count is not None and count > self._expected_count:
+            return (f"{count} addresses in one response; vantage points "
+                    f"observe at most {self._expected_count}")
+        limit = self.max_plausible_ttl
+        # Any record far above the published TTL is implausible — checking
+        # the *highest* TTL also catches spliced responses whose genuine
+        # first-fragment records still carry the benign TTL.
+        if limit is not None and highest_ttl is not None and highest_ttl > limit:
+            return (f"TTL {highest_ttl} far above the vantage-observed "
+                    f"{self._expected_ttl}")
+        return None
+
+    @staticmethod
+    def _highest_a_ttl(response) -> Optional[int]:
+        ttls = [record.ttl for record in response.answers
+                if record.rtype == RecordType.A]
+        return max(ttls) if ttls else None
+
+    def on_incoming_response(self, ctx: ResponseContext) -> Optional[str]:
+        a_count = sum(1 for record in ctx.response.answers
+                      if record.rtype == RecordType.A)
+        if a_count == 0:
+            return None
+        return self._profile_violation(a_count, self._highest_a_ttl(ctx.response))
+
+    def on_pool_accept(self, ctx: PoolAcceptContext) -> None:
+        highest = (self._highest_a_ttl(ctx.response) if ctx.response is not None
+                   else ctx.min_ttl)
+        reason = self._profile_violation(len(ctx.addresses), highest)
+        if reason is not None:
+            ctx.discard(self.name, reason)
+
+    def on_ntp_sample(self, sample: "TimeSample") -> Optional[str]:
+        if abs(sample.offset) > self.max_sample_offset:
+            return (f"sample offset {sample.offset:.1f}s contradicts the "
+                    f"vantage reference clocks")
+        return None
+
+
+def pool_policy_defenses(policy: "PoolGenerationPolicy") -> List[Defense]:
+    """The defense instances equivalent to a policy's §V mitigation knobs.
+
+    TTL discard runs before the address cap, preserving the acceptance
+    order of the pre-refactor pool generator.
+    """
+    defenses: List[Defense] = []
+    if policy.max_accepted_ttl is not None:
+        defenses.append(HighTTLDiscard(policy.max_accepted_ttl))
+    if policy.max_addresses_per_response is not None:
+        defenses.append(PerResponseAddressCap(policy.max_addresses_per_response))
+    return defenses

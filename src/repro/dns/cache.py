@@ -13,7 +13,7 @@ experiments can report exactly which pool members were attacker-controlled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .records import RecordType, ResourceRecord

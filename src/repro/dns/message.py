@@ -12,20 +12,27 @@ non-fragmented DNS response".
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from .records import RecordClass, RecordType, ResourceRecord, opt_record
 from .wire import (
     WireFormatError,
+    apply_case_pattern,
     decode_name,
     encode_name,
+    extract_case_pattern,
     normalise_name,
     pack_uint16,
     unpack_uint16,
 )
 
 DNS_HEADER_SIZE = 12
+#: Header flag marking the presence of a DNS-cookie block (the reserved Z
+#: bit, repurposed by the simulation — see :class:`DNSMessage.cookie`).
+COOKIE_FLAG = 0x0040
+#: Size of the simulated cookie block in bytes.
+COOKIE_SIZE = 8
 #: Classic maximum UDP payload without EDNS.
 CLASSIC_UDP_LIMIT = 512
 #: UDP payload that fits in a single Ethernet frame: 1500 - 20 (IP) - 8 (UDP).
@@ -83,10 +90,23 @@ class DNSMessage:
     authoritative: bool = False
     truncated: bool = False
     dnssec_ok: bool = False
+    #: DNS-cookie block (RFC 7873 model): a 64-bit value a client attaches to
+    #: its query and the server must echo.  The simulation encodes it right
+    #: after the question — alongside the transaction id in the *first*
+    #: fragment of a fragmented response — because what the attack model
+    #: cares about is that the cookie is attacker-visible under a BGP hijack
+    #: (the attacker receives the query) and genuine under a fragment splice
+    #: (the spoofed fragments only replace the trailing answer bytes).
+    cookie: Optional[int] = None
+    #: DNS-0x20 nonce: the case pattern of the question name's letters (bit i
+    #: = i-th letter upper-cased).  ``None`` decodes/encodes as all-lowercase.
+    case_nonce: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.transaction_id <= 0xFFFF:
             raise WireFormatError(f"transaction id out of range: {self.transaction_id}")
+        if self.cookie is not None and not 0 <= self.cookie < 1 << (8 * COOKIE_SIZE):
+            raise WireFormatError(f"cookie out of range: {self.cookie}")
         object.__setattr__(self, "answers", tuple(self.answers))
         object.__setattr__(self, "authority", tuple(self.authority))
         object.__setattr__(self, "additional", tuple(self.additional))
@@ -149,6 +169,8 @@ class DNSMessage:
             value |= 0x0100
         if self.recursion_available:
             value |= 0x0080
+        if self.cookie is not None:
+            value |= COOKIE_FLAG
         value |= int(self.rcode) & 0x000F
         return value
 
@@ -162,9 +184,16 @@ class DNSMessage:
         out += pack_uint16(len(self.authority))
         out += pack_uint16(len(self.additional))
         compression: dict = {}
+        name_start = len(out)
         out += encode_name(self.question.name, compression, len(out))
+        if self.case_nonce:
+            # The compression map is keyed on the canonical lower-case name;
+            # only the emitted bytes change case, so pointers still resolve.
+            out[name_start:] = apply_case_pattern(bytes(out[name_start:]), self.case_nonce)
         out += pack_uint16(int(self.question.qtype))
         out += pack_uint16(int(self.question.qclass))
+        if self.cookie is not None:
+            out += self.cookie.to_bytes(COOKIE_SIZE, "big")
         for section in (self.answers, self.authority, self.additional):
             for record in section:
                 out += record.encode(compression, len(out))
@@ -190,9 +219,16 @@ class DNSMessage:
             raise WireFormatError(f"unsupported question count: {qdcount}")
         offset = DNS_HEADER_SIZE
         qname, offset = decode_name(data, offset)
+        nonce, _ = extract_case_pattern(data[DNS_HEADER_SIZE:offset])
         qtype = RecordType(unpack_uint16(data, offset))
         qclass = unpack_uint16(data, offset + 2)
         offset += 4
+        cookie: Optional[int] = None
+        if flags & COOKIE_FLAG:
+            if offset + COOKIE_SIZE > len(data):
+                raise WireFormatError("truncated cookie block")
+            cookie = int.from_bytes(data[offset:offset + COOKIE_SIZE], "big")
+            offset += COOKIE_SIZE
         sections: List[List[ResourceRecord]] = []
         for count in (ancount, nscount, arcount):
             records: List[ResourceRecord] = []
@@ -212,6 +248,10 @@ class DNSMessage:
             recursion_available=bool(flags & 0x0080),
             authoritative=bool(flags & 0x0400),
             truncated=bool(flags & 0x0200),
+            cookie=cookie,
+            # All-lowercase decodes to None so that cookie-less, case-less
+            # messages round-trip to objects equal to their originals.
+            case_nonce=nonce or None,
         )
 
 

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from ..netsim.network import Host, Network
 from ..netsim.packets import UDPDatagram
 from .message import DNSMessage, ResponseCode
-from .records import RecordType, ResourceRecord, a_record
+from .records import RecordType, a_record, signature_record
 from .wire import normalise_name
 
 DNS_PORT = 53
@@ -35,11 +35,15 @@ class AuthoritativeNameserver(Host):
     """A simple authoritative server answering A queries from a static zone."""
 
     def __init__(self, network: Network, address: str, zone: Dict[str, List[str]],
-                 ttl: int = 300, name: Optional[str] = None, dnssec: bool = False) -> None:
+                 ttl: int = 300, name: Optional[str] = None, dnssec: bool = False,
+                 zone_key: Optional[str] = None) -> None:
         super().__init__(network, address, name=name or f"ns-{address}")
         self.zone = {normalise_name(owner): list(addresses) for owner, addresses in zone.items()}
         self.ttl = ttl
         self.dnssec = dnssec
+        #: When set, every answer RRset is signed (appended signature record);
+        #: provisioned by the ``response_signing`` defense via the testbed.
+        self.zone_key = zone_key
         self.queries_received = 0
         self.responses_sent = 0
 
@@ -68,6 +72,11 @@ class AuthoritativeNameserver(Host):
         addresses = self.select_addresses(query.question.name)
         if addresses and query.question.qtype == RecordType.A:
             answers = [a_record(query.question.name, address, self.ttl) for address in addresses]
+            if self.zone_key is not None:
+                # The signature travels at the end of the answer section —
+                # in the trailing fragment of a fragmented response, exactly
+                # where the defragmentation attacker splices.
+                answers.append(signature_record(self.zone_key, query.question.name, answers))
             response = query.make_response(answers)
         else:
             response = query.make_response([], rcode=ResponseCode.NXDOMAIN)
@@ -98,10 +107,12 @@ class PoolNTPNameserver(AuthoritativeNameserver):
                  ttl: int = POOL_NTP_ORG_TTL,
                  name: Optional[str] = None,
                  dnssec: bool = False,
-                 min_supported_mtu: int = 1500) -> None:
+                 min_supported_mtu: int = 1500,
+                 zone_key: Optional[str] = None) -> None:
         zone = {zone_name: list(pool_servers)}
         super().__init__(network, address, zone=zone, ttl=ttl,
-                         name=name or f"pool-ns-{address}", dnssec=dnssec)
+                         name=name or f"pool-ns-{address}", dnssec=dnssec,
+                         zone_key=zone_key)
         self.zone_name = normalise_name(zone_name)
         self.pool_servers = list(pool_servers)
         self.records_per_response = records_per_response

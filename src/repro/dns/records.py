@@ -8,8 +8,9 @@ message sizes are exact.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from ..netsim.addresses import int_to_ip, ip_to_int
 from .wire import (
@@ -136,6 +137,33 @@ class ResourceRecord:
             raise WireFormatError(f"unsupported record type {rtype}")
         record = cls(name=name or ".", rtype=rtype, ttl=ttl, rdata=rdata, rclass=rclass)
         return record, rdata_end
+
+
+def rrset_signature(zone_key: str, name: str, records: Sequence[ResourceRecord]) -> str:
+    """Deterministic signature over an A RRset (the DNSSEC-style model).
+
+    A real RRSIG is a public-key signature over the canonical RRset; the
+    simulation models it as a keyed digest — only code holding ``zone_key``
+    can produce it, and the off-path attacker never does.  The digest covers
+    owner name, record data *and TTLs*, so a spliced or forged answer (whose
+    records or TTLs differ) cannot reuse a genuine signature.
+    """
+    payload = "|".join([zone_key, normalise_name(name)]
+                       + sorted(f"{r.rdata}/{r.ttl}" for r in records if r.rtype == RecordType.A))
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+def signature_record(zone_key: str, name: str,
+                     records: Sequence[ResourceRecord]) -> ResourceRecord:
+    """The signature as a TXT record appended to the answer section.
+
+    Like a real RRSIG it travels at the end of the answers — i.e. in the
+    *trailing* fragment of a fragmented response, which is exactly the part a
+    defragmentation-cache attacker substitutes.  Resolvers only cache records
+    matching the question type, so the TXT never leaks into answers.
+    """
+    return ResourceRecord(name=name, rtype=RecordType.TXT, ttl=0,
+                          rdata=rrset_signature(zone_key, name, records))
 
 
 def a_record(name: str, address: str, ttl: int) -> ResourceRecord:

@@ -1,10 +1,13 @@
 """Recursive resolver and stub-resolver components.
 
-The recursive resolver is the victim of the cache-poisoning attack.  It
-performs the standard off-path defences — random transaction id, random
-source port, and source-address/question matching on responses — which is why
-the attacker in the paper goes *around* them: the spoofed content arrives in
-the second IPv4 fragment while all the validated fields live in the genuine
+The recursive resolver is the victim of the cache-poisoning attack.  Its
+protections are a :class:`~repro.defenses.stack.DefenseStack`: the classic
+off-path defences — random transaction id, random source port, and
+source-address/question matching on responses — form the policy-derived
+prefix of the stack, and experiments append hardening defenses (DNS-0x20,
+cookies, signing validation, vantage cross-checks) on top.  The paper's
+attacker goes *around* the classic set: the spoofed content arrives in the
+second IPv4 fragment while all the validated fields live in the genuine
 first fragment sent by the real nameserver (fragmentation vector), or the
 attacker simply receives the query itself after a BGP hijack.
 
@@ -16,15 +19,18 @@ resolvers) independent of the Chronos client's own schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..defenses.base import QueryContext, ResponseContext
+from ..defenses.classic import default_resolver_defenses
+from ..defenses.stack import DefenseStack
 from ..netsim.network import Host, Network
 from ..netsim.packets import UDPDatagram
 from .cache import DNSCache
 from .message import DNSMessage, ResponseCode
 from .nameserver import DNS_PORT
-from .records import RecordType, ResourceRecord
+from .records import RecordType
 from .wire import normalise_name
 
 #: Callback invoked with the answer addresses (possibly empty on failure).
@@ -43,6 +49,8 @@ class PendingUpstreamQuery:
     client_query: Optional[DNSMessage]
     sent_at: float
     timeout_handle: object = None
+    #: The defense-stack context carrying per-query verification state.
+    context: Optional[QueryContext] = None
 
 
 @dataclass
@@ -70,19 +78,28 @@ class ResolverPolicy:
 
 
 class RecursiveResolver(Host):
-    """A caching recursive resolver with configurable validation policy."""
+    """A caching recursive resolver whose validation is a defense stack.
+
+    The stack is composed deterministically: the policy-derived classic
+    defenses first (so legacy :class:`ResolverPolicy` configurations behave
+    exactly as before the refactor), then whatever extra defenses the
+    experiment supplied via ``defenses``.
+    """
 
     def __init__(self, network: Network, address: str,
                  nameserver_map: Dict[str, str],
                  policy: Optional[ResolverPolicy] = None,
                  name: Optional[str] = None,
-                 allowed_clients: Optional[List[str]] = None) -> None:
+                 allowed_clients: Optional[List[str]] = None,
+                 defenses: Optional[DefenseStack] = None) -> None:
         super().__init__(network, address, name=name or f"resolver-{address}")
         #: zone suffix (normalised) -> authoritative nameserver address
         self.nameserver_map = {normalise_name(zone): ns for zone, ns in nameserver_map.items()}
         self.policy = policy or ResolverPolicy()
         self.cache = DNSCache(max_ttl=self.policy.max_cache_ttl)
         self.allowed_clients = set(allowed_clients) if allowed_clients else None
+        extra = list(defenses) if defenses is not None else []
+        self.defenses = DefenseStack([*default_resolver_defenses(self.policy), *extra])
         self._pending: Dict[Tuple[int, str], PendingUpstreamQuery] = {}
         self._next_txid = 1
         self.queries_answered_from_cache = 0
@@ -104,16 +121,21 @@ class RecursiveResolver(Host):
         return best
 
     def _allocate_txid(self) -> int:
+        """Transaction id for a synthetic client query (see trigger_lookup).
+
+        Upstream queries get their id from the defense stack; this mirrors
+        the same randomise-or-sequential behaviour for the synthetic query a
+        triggered lookup wraps, keeping the RNG stream identical to the
+        pre-stack resolver.
+        """
         if self.policy.randomise_source_port:
             return self.network.simulator.rng.randrange(0, 0x10000)
+        return self._next_sequential_txid()
+
+    def _next_sequential_txid(self) -> int:
         txid = self._next_txid
         self._next_txid = (self._next_txid + 1) & 0xFFFF
         return txid
-
-    def _allocate_source_port(self) -> int:
-        if self.policy.randomise_source_port:
-            return self.network.simulator.rng.randrange(20000, 60000)
-        return 33333
 
     # -- datagram dispatch --------------------------------------------------------
     def handle_datagram(self, datagram: UDPDatagram) -> None:
@@ -164,20 +186,32 @@ class RecursiveResolver(Host):
                 response = client_query.make_response([], rcode=ResponseCode.SERVFAIL)
                 self._reply_to_client(client_address, client_port, response)
             return
-        txid = self._allocate_txid()
-        source_port = self._allocate_source_port()
-        upstream_query = DNSMessage.query(txid, client_query.question.name,
-                                          client_query.question.qtype)
-        pending = PendingUpstreamQuery(
-            upstream_query=upstream_query,
+        # Defaults an entirely defense-less resolver would use: sequential
+        # transaction ids and a fixed source port.  The stack's hardening
+        # hooks (random txid/port, 0x20 case, cookies) then rewrite them.
+        txid = self._next_sequential_txid()
+        context = QueryContext(
+            query=DNSMessage.query(txid, client_query.question.name,
+                                   client_query.question.qtype),
+            transaction_id=txid,
+            source_port=33333,
             nameserver_address=nameserver,
-            source_port=source_port,
+            rng=self.network.simulator.rng,
+        )
+        self.defenses.on_outgoing_query(context)
+        if context.query.transaction_id != context.transaction_id:
+            context.query = replace(context.query, transaction_id=context.transaction_id)
+        pending = PendingUpstreamQuery(
+            upstream_query=context.query,
+            nameserver_address=nameserver,
+            source_port=context.source_port,
             client_address=client_address,
             client_port=client_port,
             client_query=client_query,
             sent_at=self.network.simulator.now,
+            context=context,
         )
-        key = (txid, normalise_name(client_query.question.name))
+        key = (context.transaction_id, normalise_name(client_query.question.name))
         self._pending[key] = pending
         pending.timeout_handle = self.network.simulator.schedule(
             self.policy.query_timeout, lambda k=key: self._on_timeout(k))
@@ -186,9 +220,9 @@ class RecursiveResolver(Host):
             UDPDatagram(
                 src_ip=self.address,
                 dst_ip=nameserver,
-                src_port=source_port,
+                src_port=context.source_port,
                 dst_port=DNS_PORT,
-                payload=upstream_query.encode(),
+                payload=context.query.encode(),
             )
         )
 
@@ -207,32 +241,28 @@ class RecursiveResolver(Host):
         if pending is None:
             self.responses_rejected += 1
             return
-        if datagram.dst_port != pending.source_port:
-            self.responses_rejected += 1
-            return
-        if self.policy.check_source_address and datagram.src_ip != pending.nameserver_address:
-            self.responses_rejected += 1
-            return
-        if not response.matches_query(pending.upstream_query):
-            self.responses_rejected += 1
-            return
-        poisoned = self.last_datagram_poisoned
-        if poisoned and not self.policy.accept_fragmented_responses:
-            # A resolver that refuses reassembled fragments never sees the
-            # spoofed content; model it as rejecting the response outright.
+        context = ResponseContext(
+            response=response,
+            datagram=datagram,
+            query=pending.context,
+            poisoned=self.last_datagram_poisoned,
+            answers=[record for record in response.answers
+                     if record.rtype == response.question.qtype],
+        )
+        # First rejection wins; a rejected response leaves the query pending
+        # so the genuine answer (or the timeout) still resolves it.
+        if self.defenses.on_incoming_response(context) is not None:
             self.responses_rejected += 1
             return
         del self._pending[key]
         if pending.timeout_handle is not None:
             pending.timeout_handle.cancel()
 
-        answers = [record for record in response.answers if record.rtype == response.question.qtype]
-        if self.policy.max_records_per_response is not None:
-            answers = answers[: self.policy.max_records_per_response]
+        answers = context.answers
         if answers:
             self.cache.insert(response.question.name, response.question.qtype, answers,
-                              self.network.simulator.now, poisoned=poisoned)
-            if poisoned:
+                              self.network.simulator.now, poisoned=context.poisoned)
+            if context.poisoned:
                 self.poisoned_responses_accepted += 1
         if pending.client_address is not None and pending.client_query is not None:
             client_response = pending.client_query.make_response(list(answers),

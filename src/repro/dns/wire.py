@@ -127,6 +127,57 @@ def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
     return ".".join(labels), next_offset
 
 
+def apply_case_pattern(name_bytes: bytes, nonce: int) -> bytes:
+    """Re-case the letters of an encoded (uncompressed) name per ``nonce``.
+
+    Bit *i* of ``nonce`` (LSB first) decides whether the *i*-th alphabetic
+    character is upper-cased — the DNS-0x20 encoding: the case pattern rides
+    inside the question name itself, so it is covered by the very bytes a
+    response must echo.
+    """
+    out = bytearray(name_bytes)
+    position = 0
+    bit = 0
+    while position < len(out):
+        length = out[position]
+        if length == 0 or length & POINTER_FLAG:
+            break
+        position += 1
+        for index in range(position, position + length):
+            char = out[index]
+            if 65 <= char <= 90 or 97 <= char <= 122:
+                out[index] = (char & ~0x20) if (nonce >> bit) & 1 else (char | 0x20)
+                bit += 1
+        position += length
+    return bytes(out)
+
+
+def extract_case_pattern(name_bytes: bytes) -> Tuple[int, int]:
+    """Recover ``(nonce, letter_count)`` from an encoded name's letter cases."""
+    nonce = 0
+    bit = 0
+    position = 0
+    while position < len(name_bytes):
+        length = name_bytes[position]
+        if length == 0 or length & POINTER_FLAG:
+            break
+        position += 1
+        for index in range(position, position + length):
+            char = name_bytes[index]
+            if 65 <= char <= 90:
+                nonce |= 1 << bit
+                bit += 1
+            elif 97 <= char <= 122:
+                bit += 1
+        position += length
+    return nonce, bit
+
+
+def letter_count(name: str) -> int:
+    """Number of alphabetic characters in a name (the 0x20 entropy in bits)."""
+    return sum(1 for char in normalise_name(name) if char.isalpha())
+
+
 def pack_uint16(value: int) -> bytes:
     if not 0 <= value <= 0xFFFF:
         raise WireFormatError(f"uint16 out of range: {value}")

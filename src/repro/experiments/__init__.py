@@ -9,7 +9,10 @@ Three layers, composable but independently usable:
   the by-name registry that makes any scenario runnable from a config dict;
 * :mod:`~repro.experiments.runner` / :mod:`~repro.experiments.results` —
   parallel multi-seed sweeps (:class:`ExperimentRunner`) with deterministic,
-  order-preserving aggregation (:class:`ExperimentResult`).
+  order-preserving aggregation (:class:`ExperimentResult`);
+* :mod:`~repro.experiments.matrix` — the attack × defense-stack grid
+  (:func:`run_defense_matrix`), reproducing the paper's countermeasure
+  analysis as one deterministic sweep.
 
 Quick start::
 
@@ -24,6 +27,15 @@ Quick start::
     print(result.success_rate(), result.success_interval().formatted())
 """
 
+from .matrix import (
+    DEFAULT_ATTACKS,
+    DEFAULT_STACKS,
+    AttackSpec,
+    DefenseMatrixResult,
+    DefenseStackSpec,
+    MatrixCell,
+    run_defense_matrix,
+)
 from .registry import (
     Scenario,
     available_scenarios,
@@ -48,6 +60,13 @@ from .testbed import (
 )
 
 __all__ = [
+    "DEFAULT_ATTACKS",
+    "DEFAULT_STACKS",
+    "AttackSpec",
+    "DefenseMatrixResult",
+    "DefenseStackSpec",
+    "MatrixCell",
+    "run_defense_matrix",
     "Scenario",
     "available_scenarios",
     "get_scenario",

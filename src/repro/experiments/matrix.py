@@ -1,0 +1,226 @@
+"""Attack × defense-stack matrix experiments.
+
+The paper's story is a matrix: which countermeasure stops which poisoning
+vector?  The classic defenses stop neither vector, cookies and 0x20 stop
+only blind spoofing, fragment handling stops only the defragmentation
+splice, the §V mitigations stop a single poisoning but not a sustained
+hijack, and only content authentication (DNSSEC) stops everything.  This
+module fans the full grid — every attack under every named defense stack —
+through :class:`~repro.experiments.runner.ExperimentRunner`, one runner per
+attack row with the stacks as an explicit ``param_sets`` sweep, so each cell
+aggregates the same seeds and the whole matrix inherits the runner's
+byte-identical-across-worker-counts determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .results import ConfidenceInterval, ExperimentResult
+from .runner import ExperimentRunner
+
+#: Seconds of hijack that blanket the whole 24-hour generation window.
+SUSTAINED_HIJACK_DURATION = 24 * 3600.0 + 1200.0
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One matrix row: a registered scenario plus its threat-model params."""
+
+    label: str
+    scenario: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if "defenses" in self.params:
+            raise ValueError("attack params must not set 'defenses'; "
+                             "that axis belongs to the stack specs")
+
+
+@dataclass(frozen=True)
+class DefenseStackSpec:
+    """One matrix column: a named, ordered combination of defenses."""
+
+    name: str
+    defenses: Tuple[str, ...]
+    description: str = ""
+
+
+#: The attack rows of the default matrix.  ``chronos_24h_hijack`` is the §V
+#: residual threat model: the hijack blankets the whole generation window
+#: and the attacker mimics the zone's published profile (4 records, short
+#: TTL) — the strongest attacker the mitigations concede to.
+DEFAULT_ATTACKS: Tuple[AttackSpec, ...] = (
+    AttackSpec("chronos_poisoning", "chronos_pool_attack",
+               {"poison_at_query": 1, "run_time_shift": False,
+                "benign_server_count": 120}),
+    AttackSpec("chronos_24h_hijack", "chronos_pool_attack",
+               {"poison_at_query": 1, "run_time_shift": False,
+                "benign_server_count": 120,
+                "hijack_duration": SUSTAINED_HIJACK_DURATION,
+                "malicious_ttl": 300, "attacker_record_count": 4}),
+    AttackSpec("bgp_hijack", "bgp_hijack", {}),
+    AttackSpec("frag_poisoning", "frag_poisoning", {}),
+    AttackSpec("traditional_client", "traditional_client_attack", {}),
+)
+
+#: The defense columns of the default matrix.  ``classic`` is the empty
+#: stack — random TXID/port and response matching are always on — and the
+#: §V mitigations appear alone and combined so the matrix contains the
+#: paper's mitigation table as a cell slice.
+DEFAULT_STACKS: Tuple[DefenseStackSpec, ...] = (
+    DefenseStackSpec("classic", (),
+                     "random TXID/port + response matching only"),
+    DefenseStackSpec("dns_0x20", ("dns_0x20",), "0x20 case encoding"),
+    DefenseStackSpec("dns_cookies", ("dns_cookies",), "RFC 7873 cookies"),
+    DefenseStackSpec("frag_reject", ("fragment_rejection",),
+                     "refuse fragment-reassembled responses"),
+    DefenseStackSpec("dnssec", ("response_signing",),
+                     "zone signing + resolver validation"),
+    DefenseStackSpec("address_cap", ("address_cap",),
+                     "§V mitigation 1 alone"),
+    DefenseStackSpec("ttl_discard", ("ttl_discard",),
+                     "§V mitigation 2 alone"),
+    DefenseStackSpec("section5", ("ttl_discard", "address_cap"),
+                     "both §V mitigations"),
+    DefenseStackSpec("multi_vantage", ("multi_vantage",),
+                     "vantage cross-checks (profile + samples)"),
+    DefenseStackSpec("hardened", ("dns_0x20", "dns_cookies", "fragment_rejection",
+                                  "ttl_discard", "address_cap", "multi_vantage"),
+                     "everything except content authentication"),
+)
+
+
+@dataclass
+class MatrixCell:
+    """One (attack, stack) cell: the per-seed runs and their aggregates."""
+
+    attack: str
+    stack: str
+    result: ExperimentResult
+
+    @property
+    def runs(self) -> int:
+        return len(self.result)
+
+    @property
+    def success_rate(self) -> float:
+        return self.result.success_rate()
+
+    @property
+    def success_interval(self) -> ConfidenceInterval:
+        return self.result.success_interval()
+
+    def mean(self, key: str) -> Optional[float]:
+        values = self.result.numeric_values(key)
+        return sum(values) / len(values) if values else None
+
+
+@dataclass
+class DefenseMatrixResult:
+    """The full grid, cell-addressable and deterministically digestible."""
+
+    attacks: Tuple[AttackSpec, ...]
+    stacks: Tuple[DefenseStackSpec, ...]
+    cells: Dict[Tuple[str, str], MatrixCell]
+    elapsed_seconds: float = 0.0
+
+    def cell(self, attack: str, stack: str) -> MatrixCell:
+        try:
+            return self.cells[(attack, stack)]
+        except KeyError:
+            raise KeyError(f"no cell ({attack!r}, {stack!r}); attacks: "
+                           f"{[a.label for a in self.attacks]}, stacks: "
+                           f"{[s.name for s in self.stacks]}") from None
+
+    def row(self, attack: str) -> List[MatrixCell]:
+        return [self.cell(attack, stack.name) for stack in self.stacks]
+
+    def column(self, stack: str) -> List[MatrixCell]:
+        return [self.cell(attack.label, stack) for attack in self.attacks]
+
+    # -- determinism ------------------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 over every cell's canonical record encoding, in grid order.
+
+        Wall-clock is excluded (as in :class:`ExperimentResult`), so the
+        digest is byte-identical no matter how many workers ran the sweep.
+        """
+        digest = hashlib.sha256()
+        for attack in self.attacks:
+            for stack in self.stacks:
+                cell = self.cell(attack.label, stack.name)
+                digest.update(f"{attack.label}|{stack.name}|".encode("utf-8"))
+                digest.update(cell.result.to_json().encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- reporting ---------------------------------------------------------------
+    def success_table(self) -> Dict[str, Dict[str, float]]:
+        """attack label -> stack name -> success rate."""
+        return {attack.label: {stack.name: self.cell(attack.label, stack.name).success_rate
+                               for stack in self.stacks}
+                for attack in self.attacks}
+
+    def formatted(self) -> List[str]:
+        """A printable success-rate table (rows: attacks, columns: stacks)."""
+        width = max(len(attack.label) for attack in self.attacks)
+        header = " " * width + "".join(f" {stack.name:>13}" for stack in self.stacks)
+        lines = [header]
+        for attack in self.attacks:
+            row = f"{attack.label:<{width}}"
+            for stack in self.stacks:
+                row += f" {self.cell(attack.label, stack.name).success_rate:>13.2f}"
+            lines.append(row)
+        return lines
+
+    def residual_hijack_rate(self, stack: str = "section5") -> float:
+        """Success rate of the sustained 24-hour hijack under §V mitigations.
+
+        The paper's residual claim is that this stays ≈ 1.0: the mitigations
+        stop single poisonings, not an attacker who owns DNS for the whole
+        generation window.
+        """
+        return self.cell("chronos_24h_hijack", stack).success_rate
+
+
+def run_defense_matrix(attacks: Sequence[AttackSpec] = DEFAULT_ATTACKS,
+                       stacks: Sequence[DefenseStackSpec] = DEFAULT_STACKS,
+                       seeds: Sequence[int] = (1, 2),
+                       workers: int = 1) -> DefenseMatrixResult:
+    """Run every attack under every defense stack and aggregate per cell.
+
+    One :class:`ExperimentRunner` per attack row; the stacks become that
+    row's explicit ``param_sets`` sweep, so a row's runs parallelise across
+    both stacks and seeds.
+    """
+    attacks = tuple(attacks)
+    stacks = tuple(stacks)
+    seeds = tuple(seeds)
+    start = time.perf_counter()
+    cells: Dict[Tuple[str, str], MatrixCell] = {}
+    for attack in attacks:
+        row_result = ExperimentRunner(
+            attack.scenario,
+            seeds=seeds,
+            base_params=dict(attack.params),
+            param_sets=[{"defenses": stack.defenses} for stack in stacks],
+            workers=workers,
+        ).run()
+        # Task order is param_sets-major, seeds inner; slice back per stack.
+        per_stack = len(seeds)
+        for index, stack in enumerate(stacks):
+            records = row_result.records[index * per_stack:(index + 1) * per_stack]
+            cells[(attack.label, stack.name)] = MatrixCell(
+                attack=attack.label,
+                stack=stack.name,
+                result=ExperimentResult(scenario=attack.scenario, records=records),
+            )
+    return DefenseMatrixResult(
+        attacks=attacks,
+        stacks=stacks,
+        cells=cells,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -15,7 +15,7 @@ import json
 import math
 import statistics
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 
 def _z_value(confidence: float) -> float:

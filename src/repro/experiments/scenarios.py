@@ -1,4 +1,4 @@
-"""Registry adapters exposing the four attack scenarios as named experiments.
+"""Registry adapters exposing the attack scenarios as named experiments.
 
 Each adapter translates a flat, picklable parameter dict into the scenario's
 config dataclass, runs the scenario, and flattens the outcome into a metrics
@@ -6,7 +6,10 @@ dict.  Conventions shared by all adapters so sweeps aggregate uniformly:
 
 * ``attack_succeeded`` — the scenario's headline success criterion (bool);
 * ``achieved_shift`` — the clock error reached on the victim, where the
-  scenario has a time-shifting phase (seconds).
+  scenario has a time-shifting phase (seconds);
+* ``defenses`` — every attack scenario accepts a tuple of defense registry
+  names (see :mod:`repro.defenses`) stacked onto the victim, and reports
+  ``defense_rejections`` (defense name -> rejected responses/samples).
 
 Importing this module registers the adapters; the registry does so lazily on
 first lookup.
@@ -14,15 +17,29 @@ first lookup.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+from collections import Counter
+from typing import Any, Dict, Mapping
 
 from ..attacks.baseline_scenario import BaselineAttackConfig, TraditionalClientAttackScenario
 from ..attacks.bgp_hijack import BGPHijackConfig, BGPHijackScenario
 from ..attacks.chronos_pool_attack import ChronosPoolAttackScenario, PoolAttackConfig
 from ..attacks.frag_poisoning import FragPoisoningConfig, FragPoisoningScenario
 from ..core.pool_generation import PoolGenerationPolicy
-from ..dns.resolver import ResolverPolicy
+from ..defenses.stack import DefenseStack
 from .registry import merge_params, register_scenario
+
+
+def defense_rejections(*stacks: DefenseStack) -> Dict[str, int]:
+    """Combined per-defense rejection counts across the given stacks.
+
+    The resolver counts its own (response-side) rejections while the testbed
+    stack counts pool-admission and NTP-sample vetoes; summing the two gives
+    the full picture of *which* defense blocked an attack.
+    """
+    total: Counter = Counter()
+    for stack in stacks:
+        total.update(stack.rejections)
+    return dict(sorted(total.items()))
 
 
 @register_scenario
@@ -46,6 +63,7 @@ class ChronosPoolAttackExperiment:
             "run_time_shift": True,
             "target_shift": 600.0,
             "update_rounds": 5,
+            "defenses": (),
         }
 
     def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -63,10 +81,13 @@ class ChronosPoolAttackExperiment:
             malicious_ttl=p["malicious_ttl"],
             hijack_duration=p["hijack_duration"],
             pool_policy=policy,
+            defenses=tuple(p["defenses"]),
         )
         scenario = ChronosPoolAttackScenario(config)
         pool = scenario.run_pool_generation()
         metrics: Dict[str, Any] = {
+            "defense_rejections": defense_rejections(scenario.resolver.defenses,
+                                                     scenario.testbed.defenses),
             "attack_succeeded": pool.attack_succeeded,
             "attacker_fraction": pool.attacker_fraction,
             "benign": pool.composition.benign,
@@ -104,6 +125,7 @@ class TraditionalClientAttackExperiment:
             "max_servers": 4,
             "target_shift": 600.0,
             "poll_rounds": 4,
+            "defenses": (),
         }
 
     def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -115,11 +137,14 @@ class TraditionalClientAttackExperiment:
             attacker_record_count=p["attacker_record_count"],
             malicious_ttl=p["malicious_ttl"],
             max_servers=p["max_servers"],
+            defenses=tuple(p["defenses"]),
         )
         scenario = TraditionalClientAttackScenario(config)
         result = scenario.run(p["target_shift"], poll_rounds=p["poll_rounds"])
         return {
             "attack_succeeded": result.attack_succeeded,
+            "defense_rejections": defense_rejections(scenario.resolver.defenses,
+                                                     scenario.testbed.defenses),
             "achieved_shift": result.achieved_error,
             "servers_used": len(result.servers_used),
             "malicious_servers_used": result.malicious_servers_used,
@@ -143,6 +168,7 @@ class BGPHijackExperiment:
             "hijack_start": 0.0,
             "hijack_duration": 30.0,
             "lookup_time": 5.0,
+            "defenses": (),
         }
 
     def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -155,10 +181,13 @@ class BGPHijackExperiment:
             hijack_start=p["hijack_start"],
             hijack_duration=p["hijack_duration"],
             lookup_time=p["lookup_time"],
+            defenses=tuple(p["defenses"]),
         )
-        result = BGPHijackScenario(config).run()
+        scenario = BGPHijackScenario(config)
+        result = scenario.run()
         return {
             "attack_succeeded": result.attack_succeeded,
+            "defense_rejections": defense_rejections(scenario.resolver.defenses),
             "cache_poisoned": result.cache_poisoned,
             "malicious_records_cached": result.malicious_records_cached,
             "cached_ttl": result.cached_ttl,
@@ -186,6 +215,7 @@ class FragPoisoningExperiment:
             "starting_ipid": None,
             "attacker_record_count": None,
             "malicious_ttl": 2 * 86400,
+            "defenses": (),
         }
 
     def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -201,12 +231,68 @@ class FragPoisoningExperiment:
             starting_ipid=p["starting_ipid"],
             attacker_record_count=p["attacker_record_count"],
             malicious_ttl=p["malicious_ttl"],
+            defenses=tuple(p["defenses"]),
         )
-        result = FragPoisoningScenario(config).run()
+        scenario = FragPoisoningScenario(config)
+        result = scenario.run()
         return {
             "attack_succeeded": result.attack_succeeded,
+            "defense_rejections": defense_rejections(scenario.resolver.defenses),
             "cache_poisoned": result.cache_poisoned,
             "planted_fragments": result.planted_fragments,
             "poisoned_records_cached": result.poisoned_records_cached,
             "records_cached": result.records_cached,
+        }
+
+
+@register_scenario
+class DNSMeasurementExperiment:
+    """The §II DNS ecosystem study (E4) as a registry experiment.
+
+    Not an attack: one run generates a synthetic nameserver + resolver
+    population for the given seed, executes the probe/classify pipeline and
+    returns the published marginals — so sweeping the study across seeds
+    through the runner yields confidence intervals on every fraction.
+    """
+
+    name = "dns_measurement"
+    description = ("the §II companion measurement: nameserver fragmentation/"
+                   "DNSSEC and resolver fragment-acceptance statistics (E4)")
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "nameserver_total": 30,
+            "nameserver_fragmenting": 16,
+            "resolver_total": 5000,
+            "pair_sample": 200,
+        }
+
+    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+        # Imported here: the measurement layer is independent of the attack
+        # scenarios this module otherwise wires up.
+        from ..analysis.poisoning_vectors import vulnerable_pair_fraction
+        from ..measurement.nameserver_study import run_nameserver_study
+        from ..measurement.population import (
+            generate_nameserver_population,
+            generate_resolver_population,
+        )
+        from ..measurement.resolver_study import run_resolver_study
+
+        p = merge_params(self.default_params(), params)
+        nameservers = generate_nameserver_population(
+            seed=seed, total=p["nameserver_total"],
+            fragmenting=p["nameserver_fragmenting"])
+        resolvers = generate_resolver_population(seed=seed, total=p["resolver_total"])
+        ns_report = run_nameserver_study(nameservers)
+        resolver_report = run_resolver_study(resolvers)
+        return {
+            "nameservers_fragmenting_without_dnssec": ns_report.fragmenting_without_dnssec,
+            "nameservers_fragmenting": ns_report.fragmenting,
+            "nameservers_dnssec": ns_report.dnssec_enabled,
+            "accept_any_fraction": resolver_report.accept_any_fraction,
+            "accept_minimum_fraction": resolver_report.accept_minimum_fraction,
+            "triggerable_fraction": resolver_report.triggerable_fraction,
+            "trigger_methods": dict(sorted(resolver_report.by_trigger_method.items())),
+            "vulnerable_pair_fraction": vulnerable_pair_fraction(
+                nameservers, resolvers[: p["pair_sample"]]),
         }

@@ -17,9 +17,10 @@ builds from the same config are identical event-for-event.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
+from ..defenses.stack import DefenseSpec, DefenseStack
 from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE, PoolNTPNameserver
 from ..dns.records import SECONDS_PER_DAY
 from ..dns.resolver import RecursiveResolver, ResolverPolicy
@@ -70,6 +71,16 @@ class TestbedConfig:
     resolver_address: str = "192.0.2.1"
     resolver_policy: ResolverPolicy = field(default_factory=ResolverPolicy)
 
+    # -- defenses --------------------------------------------------------------
+    #: Extra countermeasures, by registry name and/or instance; composed (in
+    #: order) on top of the policy-derived classic defenses.  The stack's
+    #: ``configure_testbed`` hooks may rewrite other fields of this config
+    #: (on the builder's private copy) before the world is materialised.
+    defenses: DefenseSpec = ()
+    #: Zone-signing key; ``None`` leaves the zone unsigned.  Normally
+    #: provisioned by the ``response_signing`` defense rather than by hand.
+    zone_key: Optional[str] = None
+
     # -- attacker infrastructure ---------------------------------------------
     with_attacker: bool = True
     attacker_address_block: str = "198.51.100.0/24"
@@ -93,6 +104,9 @@ class Testbed:
     benign_servers: List[NTPServer]
     nameserver: PoolNTPNameserver
     resolver: RecursiveResolver
+    #: The configured defense stack (shared by the resolver and the victim's
+    #: pool/NTP hooks).  Always present; empty when no defenses were asked.
+    defenses: DefenseStack = field(default_factory=DefenseStack)
     attacker: Optional["AttackerInfrastructure"] = None
     hijacker: Optional["BGPHijackPoisoner"] = None
     victim: Any = None
@@ -119,7 +133,12 @@ class TestbedBuilder:
         from ..attacks.attacker import build_attacker_infrastructure
         from ..attacks.bgp_hijack import BGPHijackPoisoner
 
-        cfg = self.config
+        # The defense stack may rewrite config fields (PMTU floor, zone key);
+        # work on a shallow copy so the caller's config object stays pristine
+        # and reusable across builds.
+        cfg = replace(self.config)
+        stack = DefenseStack.from_spec(cfg.defenses)
+        stack.configure_testbed(cfg)
         simulator = Simulator(seed=cfg.seed, start_time=cfg.start_time)
         network = Network(simulator, default_link=LinkProperties(latency=cfg.latency))
 
@@ -138,6 +157,7 @@ class TestbedBuilder:
             ttl=cfg.benign_ttl,
             dnssec=cfg.nameserver_dnssec,
             min_supported_mtu=cfg.nameserver_min_mtu,
+            zone_key=cfg.zone_key,
         )
         if cfg.nameserver_min_mtu < DEFAULT_MTU:
             network.set_path_mtu(nameserver.address, cfg.nameserver_min_mtu)
@@ -146,6 +166,7 @@ class TestbedBuilder:
             cfg.resolver_address,
             nameserver_map={cfg.zone: nameserver.address},
             policy=cfg.resolver_policy,
+            defenses=stack,
         )
         testbed = Testbed(
             config=cfg,
@@ -154,7 +175,11 @@ class TestbedBuilder:
             benign_servers=benign_servers,
             nameserver=nameserver,
             resolver=resolver,
+            defenses=stack,
         )
+        # Runtime attachment happens before the victim exists: defenses
+        # capture world state (zone profile, keys), not victim state.
+        stack.attach_testbed(testbed)
         if victim_factory is not None:
             testbed.victim = victim_factory(testbed)
         if cfg.with_attacker:

@@ -13,7 +13,7 @@ experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..attacks.frag_poisoning import FragmentationAttackConditions
 from ..dns.message import response_size_for_a_records

@@ -22,8 +22,8 @@ aggregate), so the analysis pipeline is exercised end to end.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 #: The MTU the companion study probed pool.ntp.org nameservers down to.
 STUDY_MTU_THRESHOLD = 548

@@ -22,7 +22,7 @@ needs.  On-path attackers are modelled with taps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .bgp import RoutingTable

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..defenses.stack import DefenseStack
 from ..dns.resolver import DNSStub
 from ..netsim.network import Host, Network
 from ..netsim.packets import UDPDatagram
@@ -47,11 +48,14 @@ class TraditionalNTPClient(Host):
                  poll_interval: float = DEFAULT_POLL_INTERVAL,
                  clock: Optional[SystemClock] = None,
                  max_adjustment: Optional[float] = None,
-                 name: Optional[str] = None) -> None:
+                 name: Optional[str] = None,
+                 defenses: Optional[DefenseStack] = None) -> None:
         super().__init__(network, address, name=name or f"ntp-client-{address}")
         self.clock = clock or SystemClock(network.simulator)
         self.dns = DNSStub(self, resolver_address)
         self.querier = NTPQuerier(self, self.clock)
+        #: NTP-sample vetoes from the experiment's defense stack.
+        self.defenses = defenses
         self.hostname = hostname
         self.max_servers = max_servers
         self.poll_interval = poll_interval
@@ -95,6 +99,9 @@ class TraditionalNTPClient(Host):
         record = self._current_poll
         if record is None:
             return
+        if (sample is not None and self.defenses is not None
+                and not self.defenses.on_ntp_sample(sample)):
+            sample = None  # vetoed by a defense; treat like a lost exchange
         if sample is not None:
             record.samples.append(sample)
         self._outstanding -= 1

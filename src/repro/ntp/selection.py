@@ -19,7 +19,7 @@ query to poison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from statistics import mean, median
+from statistics import median
 from typing import List, Optional, Sequence, Tuple
 
 from .query import TimeSample

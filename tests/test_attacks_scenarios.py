@@ -13,7 +13,6 @@ from repro.attacks.chronos_pool_attack import (
 )
 from repro.attacks.ntp_shift import OfflineShiftModel, chronos_round_offset, ntpd_round_offset
 from repro.core.pool_generation import PoolGenerationPolicy
-from repro.core.selection import ChronosConfig
 
 
 # -- the closed-form arithmetic of §IV ------------------------------------------------------

@@ -5,11 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.chronos_client import ChronosClient, UpdateOutcome
-from repro.core.pool_generation import (
-    ChronosPoolGenerator,
-    PoolComposition,
-    PoolGenerationPolicy,
-)
+from repro.core.pool_generation import PoolComposition, PoolGenerationPolicy
 from repro.core.selection import ChronosConfig
 from repro.dns.nameserver import PoolNTPNameserver
 from repro.dns.resolver import RecursiveResolver, ResolverPolicy

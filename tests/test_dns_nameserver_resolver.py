@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.dns.message import DNSMessage
 from repro.dns.nameserver import DNS_PORT, AuthoritativeNameserver, PoolNTPNameserver
 from repro.dns.records import RecordType

@@ -10,7 +10,7 @@ from repro.netsim.fragmentation import (
     fragment_datagram,
     parse_udp_wire,
 )
-from repro.netsim.packets import IPPacket, IPV4_HEADER_SIZE, UDPDatagram
+from repro.netsim.packets import IPPacket, UDPDatagram
 
 
 def make_datagram(size=1200, src="192.0.2.53", dst="192.0.2.1"):
