@@ -1,0 +1,130 @@
+"""E-scaleout: the matrix sweep-execution layer as a perf + determinism gate.
+
+Four runs of the default 5-attack × 10-stack grid:
+
+1. **per-row** — the legacy path (one ``ExperimentRunner`` and one pool per
+   attack row, full barrier between rows) at ``workers=4``;
+2. **shared** — all rows flattened into one task stream on a single shared
+   pool at ``workers=4``;
+3. **cold** — shared scheduler writing a fresh persistent run cache;
+4. **warm** — the same sweep replayed entirely from that cache.
+
+Gates:
+
+* every digest is byte-identical, and equal to the pinned PR-2 baseline for
+  the default grid at seeds ``(1, 2)`` — the refactor and the cache are
+  invisible in the output;
+* warm ≥ 10× faster than cold (``SCALEOUT_MIN_CACHE_SPEEDUP``) — the cache
+  actually makes re-runs incremental;
+* on hosts with ≥ 4 usable CPUs, shared ≥ 1.3× faster than per-row
+  (``SCALEOUT_MIN_POOL_SPEEDUP``) — eliminating per-row pool spawns and
+  inter-row barriers is worth real wall-clock.
+
+The measured numbers are also written to ``BENCH_matrix_scaleout.json``
+(path override: ``SCALEOUT_JSON``) so CI can archive the run.  Reduced CI
+form: fewer seeds via ``SCALEOUT_SEED_COUNT`` (digest pinning then only
+applies when the grid is the pinned one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import emit, usable_cpus
+
+from repro.experiments import RunCache, run_defense_matrix
+
+#: Digest of the default grid at seeds (1, 2) as produced by the PR-2
+#: per-row implementation — pinned so neither the shared scheduler, the
+#: cache replay path, nor the simulator/encode hot-path work can drift the
+#: science.
+PR2_BASELINE_DIGEST = "8fd76ec98cd658b56371cb3f35fb48bf040423c0b4b819d05a6b8377f4bbe0de"
+
+SEEDS = tuple(range(1, int(os.environ.get("SCALEOUT_SEED_COUNT", "2")) + 1))
+WORKERS = 4
+
+
+def _timed(**kwargs):
+    start = time.perf_counter()
+    matrix = run_defense_matrix(seeds=SEEDS, **kwargs)
+    return matrix, time.perf_counter() - start
+
+
+def run_quartet(cache_dir):
+    per_row, per_row_s = _timed(workers=WORKERS, shared_scheduler=False)
+    shared, shared_s = _timed(workers=WORKERS)
+    cold, cold_s = _timed(workers=1, cache=RunCache(cache_dir))
+    warm, warm_s = _timed(workers=1, cache=RunCache(cache_dir))
+    return {
+        "per_row": (per_row, per_row_s),
+        "shared": (shared, shared_s),
+        "cold": (cold, cold_s),
+        "warm": (warm, warm_s),
+    }
+
+
+def test_matrix_scaleout_gates(benchmark, tmp_path):
+    runs = benchmark.pedantic(run_quartet, args=(tmp_path / "run-cache",),
+                              rounds=1, iterations=1)
+    timings = {name: seconds for name, (_, seconds) in runs.items()}
+    digests = {name: matrix.digest() for name, (matrix, _) in runs.items()}
+    pool_speedup = timings["per_row"] / max(timings["shared"], 1e-9)
+    cache_speedup = timings["cold"] / max(timings["warm"], 1e-9)
+    warm_stats = runs["warm"][0].sweep_stats
+    cpus = usable_cpus()
+    min_pool = float(os.environ.get("SCALEOUT_MIN_POOL_SPEEDUP", "1.3"))
+    min_cache = float(os.environ.get("SCALEOUT_MIN_CACHE_SPEEDUP", "10.0"))
+    pinnable = SEEDS == (1, 2)
+
+    report = {
+        "seeds": list(SEEDS),
+        "workers": WORKERS,
+        "usable_cpus": cpus,
+        "timings_seconds": {name: round(seconds, 4) for name, seconds in timings.items()},
+        "pool_speedup": round(pool_speedup, 3),
+        "cache_speedup": round(cache_speedup, 3),
+        "warm_cache": {"hits": warm_stats.cache_hits, "executed": warm_stats.executed},
+        "digest": digests["shared"],
+        "pr2_baseline_digest": PR2_BASELINE_DIGEST if pinnable else None,
+        "digests_identical": len(set(digests.values())) == 1,
+    }
+    json_path = os.environ.get("SCALEOUT_JSON", "BENCH_matrix_scaleout.json")
+    with open(json_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    emit("E-scaleout — shared scheduler + persistent run cache on the "
+         f"5-attack × 10-stack grid, seeds={list(SEEDS)}", [
+             f"per-row pools (workers={WORKERS}): {timings['per_row']:.2f}s",
+             f"shared pool   (workers={WORKERS}): {timings['shared']:.2f}s "
+             f"(speedup {pool_speedup:.2f}x on {cpus} usable CPUs)",
+             f"cold cache    (workers=1): {timings['cold']:.2f}s",
+             f"warm cache    (workers=1): {timings['warm']:.3f}s "
+             f"(speedup {cache_speedup:.1f}x, "
+             f"{warm_stats.cache_hits} hits / {warm_stats.executed} executed)",
+             f"digests identical: {report['digests_identical']}",
+             f"PR-2 baseline digest match: "
+             f"{digests['shared'] == PR2_BASELINE_DIGEST if pinnable else 'n/a'}",
+             f"report: {json_path}",
+         ])
+
+    # Gate (c): the refactor is invisible in the output.
+    assert len(set(digests.values())) == 1, f"digests diverged: {digests}"
+    if pinnable:
+        assert digests["shared"] == PR2_BASELINE_DIGEST, (
+            "matrix digest drifted from the PR-2 baseline: "
+            f"{digests['shared']} != {PR2_BASELINE_DIGEST}")
+    # Gate (a): warm replay computed nothing and is an order of magnitude
+    # faster than the cold run.
+    assert warm_stats.executed == 0
+    assert warm_stats.cache_hits == warm_stats.tasks_total
+    assert cache_speedup >= min_cache, (
+        f"expected warm-cache re-run >= {min_cache}x faster than cold, "
+        f"got {cache_speedup:.2f}x")
+    # Gate (b): the shared pool beats per-row pools where parallelism exists.
+    if cpus >= 4:
+        assert pool_speedup >= min_pool, (
+            f"expected shared scheduler >= {min_pool}x faster than per-row "
+            f"pools with {WORKERS} workers on {cpus} usable CPUs, "
+            f"got {pool_speedup:.2f}x")

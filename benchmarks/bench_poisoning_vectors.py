@@ -6,8 +6,8 @@ from conftest import emit
 
 from repro.analysis.poisoning_vectors import VectorFeasibilityRow, mtu_sweep
 from repro.attacks import build_attacker_infrastructure
-from repro.attacks.frag_poisoning import FragmentationPoisoner
 from repro.attacks.bgp_hijack import BGPHijackPoisoner
+from repro.attacks.frag_poisoning import FragmentationPoisoner
 from repro.dns.message import DNSMessage
 from repro.dns.nameserver import PoolNTPNameserver
 from repro.dns.records import RecordType, a_record

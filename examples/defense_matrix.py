@@ -14,7 +14,12 @@ paper's argument:
   stays at 1.0 — the residual risk the paper concedes;
 * only content authentication (the ``dnssec`` column) clears every row.
 
-Run with:  python examples/defense_matrix.py [seeds] [workers]
+Run with:  python examples/defense_matrix.py [seeds] [workers] [--cache]
+
+With ``--cache`` the grid runs through the persistent run cache
+(``$REPRO_CACHE_DIR`` or ``./.repro-cache``): re-run the example with more
+seeds and only the new seeds are computed — the rest replays from disk,
+digest-identically.
 """
 
 from __future__ import annotations
@@ -22,13 +27,17 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import section5_from_matrix
-from repro.experiments import run_defense_matrix
+from repro.experiments import RunCache, run_defense_matrix
 
 
-def main(seed_count: int = 2, workers: int = 1) -> None:
-    matrix = run_defense_matrix(seeds=range(1, seed_count + 1), workers=workers)
+def main(seed_count: int = 2, workers: int = 1, use_cache: bool = False) -> None:
+    cache = RunCache() if use_cache else None
+    matrix = run_defense_matrix(seeds=range(1, seed_count + 1), workers=workers,
+                                cache=cache)
     print(f"== attack × defense matrix: success rates "
           f"({matrix.elapsed_seconds:.1f}s, workers={workers}) ==")
+    if cache is not None:
+        print(f"cache [{cache.path}]: {matrix.sweep_stats.formatted()}")
     for line in matrix.formatted():
         print(line)
     print(f"\nmatrix digest (byte-identical across worker counts): {matrix.digest()}")
@@ -46,9 +55,11 @@ def main(seed_count: int = 2, workers: int = 1) -> None:
 
 if __name__ == "__main__":
     argv = sys.argv[1:]
+    with_cache = "--cache" in argv
+    argv = [arg for arg in argv if arg != "--cache"]
     try:
         seed_count = int(argv[0]) if argv else 2
         worker_count = int(argv[1]) if len(argv) > 1 else 1
     except ValueError:
-        sys.exit("usage: defense_matrix.py [seeds] [workers]")
-    main(seed_count=seed_count, workers=worker_count)
+        sys.exit("usage: defense_matrix.py [seeds] [workers] [--cache]")
+    main(seed_count=seed_count, workers=worker_count, use_cache=with_cache)

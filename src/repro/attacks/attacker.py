@@ -21,11 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from ..dns.message import MAX_UNFRAGMENTED_UDP_PAYLOAD, max_a_records_for_payload
-from ..dns.nameserver import AuthoritativeNameserver, DNS_PORT
-from ..dns.records import SECONDS_PER_DAY, ResourceRecord, a_record
-from ..dns.message import DNSMessage
-from ..dns.records import RecordType
+from ..dns.message import MAX_UNFRAGMENTED_UDP_PAYLOAD, DNSMessage, max_a_records_for_payload
+from ..dns.nameserver import DNS_PORT, AuthoritativeNameserver
+from ..dns.records import SECONDS_PER_DAY, RecordType, ResourceRecord, a_record
 from ..netsim.addresses import AddressAllocator
 from ..netsim.network import Network
 from ..netsim.packets import UDPDatagram
@@ -68,6 +66,10 @@ class ImpersonatingNameserver(AuthoritativeNameserver):
         self.zone_name = zone_name
         self.malicious_records = list(records)
         self.hijacked_queries_answered = 0
+        # qname -> prepared answer records; the malicious record set is fixed
+        # at construction, so a sustained hijack answering thousands of
+        # queries need not rebuild the (up to 89-entry) answer list each time.
+        self._answers_by_qname: dict = {}
 
     def handle_datagram(self, datagram: UDPDatagram) -> None:
         if datagram.dst_port != DNS_PORT:
@@ -79,9 +81,12 @@ class ImpersonatingNameserver(AuthoritativeNameserver):
         if query.is_response or query.question.qtype != RecordType.A:
             return
         self.queries_received += 1
-        answers = [ResourceRecord(name=query.question.name, rtype=RecordType.A,
-                                  ttl=record.ttl, rdata=record.rdata)
-                   for record in self.malicious_records]
+        answers = self._answers_by_qname.get(query.question.name)
+        if answers is None:
+            answers = [ResourceRecord(name=query.question.name, rtype=RecordType.A,
+                                      ttl=record.ttl, rdata=record.rdata)
+                       for record in self.malicious_records]
+            self._answers_by_qname[query.question.name] = answers
         response = query.make_response(answers)
         self.hijacked_queries_answered += 1
         self.responses_sent += 1

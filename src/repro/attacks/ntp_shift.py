@@ -16,8 +16,8 @@ from typing import List, Optional
 from ..core.chronos_client import ChronosClient
 from ..core.selection import ChronosConfig, chronos_select
 from ..ntp.client import TraditionalNTPClient
-from ..ntp.selection import ntpd_select
 from ..ntp.query import TimeSample
+from ..ntp.selection import ntpd_select
 from .attacker import AttackerInfrastructure
 
 

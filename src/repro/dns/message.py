@@ -175,7 +175,15 @@ class DNSMessage:
         return value
 
     def encode(self) -> bytes:
-        """Serialise to wire bytes with name compression."""
+        """Serialise to wire bytes with name compression.
+
+        The wire form is memoised on the instance: the message is frozen, so
+        its bytes never change, and attack hot paths (spoofed-response
+        bursts, repeated hijack answers) encode the same message many times.
+        """
+        cached = self.__dict__.get("_wire")
+        if cached is not None:
+            return cached
         out = bytearray()
         out += pack_uint16(self.transaction_id)
         out += pack_uint16(self.flags())
@@ -197,7 +205,9 @@ class DNSMessage:
         for section in (self.answers, self.authority, self.additional):
             for record in section:
                 out += record.encode(compression, len(out))
-        return bytes(out)
+        wire = bytes(out)
+        object.__setattr__(self, "_wire", wire)
+        return wire
 
     @property
     def wire_size(self) -> int:

@@ -15,6 +15,7 @@ Both are computed from the byte layout implemented here, not hard-coded.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 MAX_LABEL_LENGTH = 63
@@ -36,12 +37,17 @@ def normalise_name(name: str) -> str:
     return name.rstrip(".").lower()
 
 
-def name_to_labels(name: str) -> List[str]:
-    """Split a domain name into its labels, validating lengths."""
-    name = normalise_name(name)
+@lru_cache(maxsize=4096)
+def _validated_labels(name: str) -> Tuple[str, ...]:
+    """Split an already-normalised name into validated labels.
+
+    Cached because experiments encode the same handful of names (the zone
+    apex, sub-pools, attacker decoys) millions of times per sweep; splitting
+    and re-validating per encode dominated the encode path.
+    """
     if not name:
-        return []
-    labels = name.split(".")
+        return ()
+    labels = tuple(name.split("."))
     for label in labels:
         if not label:
             raise WireFormatError(f"empty label in {name!r}")
@@ -53,6 +59,11 @@ def name_to_labels(name: str) -> List[str]:
     return labels
 
 
+def name_to_labels(name: str) -> List[str]:
+    """Split a domain name into its labels, validating lengths."""
+    return list(_validated_labels(normalise_name(name)))
+
+
 def encode_name(name: str, compression: Dict[str, int] = None, offset: int = 0) -> bytes:
     """Encode a domain name, optionally using/updating a compression map.
 
@@ -61,17 +72,29 @@ def encode_name(name: str, compression: Dict[str, int] = None, offset: int = 0) 
     is emitted instead, which is how a real response packs 89 A records whose
     owner name is all the same.
     """
+    if compression is None:
+        return _plain_name_wire(normalise_name(name))
     labels = name_to_labels(name)
     out = bytearray()
     for index in range(len(labels)):
         suffix = ".".join(labels[index:])
-        if compression is not None and suffix in compression:
+        if suffix in compression:
             pointer = compression[suffix]
             out += bytes([POINTER_FLAG | (pointer >> 8), pointer & 0xFF])
             return bytes(out)
-        if compression is not None and offset + len(out) <= 0x3FFF:
+        if offset + len(out) <= 0x3FFF:
             compression[suffix] = offset + len(out)
         label = labels[index]
+        out += bytes([len(label)]) + label.encode("ascii")
+    out += b"\x00"
+    return bytes(out)
+
+
+@lru_cache(maxsize=4096)
+def _plain_name_wire(name: str) -> bytes:
+    """Uncompressed wire encoding of an already-normalised name (cached)."""
+    out = bytearray()
+    for label in _validated_labels(name):
         out += bytes([len(label)]) + label.encode("ascii")
     out += b"\x00"
     return bytes(out)

@@ -10,6 +10,10 @@ Three layers, composable but independently usable:
 * :mod:`~repro.experiments.runner` / :mod:`~repro.experiments.results` —
   parallel multi-seed sweeps (:class:`ExperimentRunner`) with deterministic,
   order-preserving aggregation (:class:`ExperimentResult`);
+* :mod:`~repro.experiments.scheduler` / :mod:`~repro.experiments.cache` —
+  the sweep-execution layer: a single shared worker pool across any number
+  of sweeps (:class:`SweepScheduler`) and a persistent content-addressed
+  run cache (:class:`RunCache`) that makes re-runs incremental;
 * :mod:`~repro.experiments.matrix` — the attack × defense-stack grid
   (:func:`run_defense_matrix`), reproducing the paper's countermeasure
   analysis as one deterministic sweep.
@@ -27,6 +31,13 @@ Quick start::
     print(result.success_rate(), result.success_interval().formatted())
 """
 
+from .cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA_VERSION,
+    RunCache,
+    scenario_fingerprint,
+    task_key,
+)
 from .matrix import (
     DEFAULT_ATTACKS,
     DEFAULT_STACKS,
@@ -34,6 +45,7 @@ from .matrix import (
     DefenseMatrixResult,
     DefenseStackSpec,
     MatrixCell,
+    matrix_specs,
     run_defense_matrix,
 )
 from .registry import (
@@ -51,6 +63,7 @@ from .results import (
     wilson_interval,
 )
 from .runner import ExperimentRunner, ExperimentSpec, run_scenario
+from .scheduler import SweepScheduler, SweepStats, guided_chunk_sizes
 from .testbed import (
     DEFAULT_ZONE,
     Testbed,
@@ -60,13 +73,22 @@ from .testbed import (
 )
 
 __all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "RunCache",
+    "scenario_fingerprint",
+    "task_key",
     "DEFAULT_ATTACKS",
     "DEFAULT_STACKS",
     "AttackSpec",
     "DefenseMatrixResult",
     "DefenseStackSpec",
     "MatrixCell",
+    "matrix_specs",
     "run_defense_matrix",
+    "SweepScheduler",
+    "SweepStats",
+    "guided_chunk_sizes",
     "Scenario",
     "available_scenarios",
     "get_scenario",

@@ -1,0 +1,277 @@
+"""Persistent, content-addressed cache of scenario runs.
+
+Every task the experiment engine executes is a pure function of
+``(scenario name, seed, fully-resolved params)`` — that purity is what makes
+sweeps deterministic, and it also makes every run cacheable forever.  This
+module keys each :class:`~repro.experiments.results.RunRecord` by the SHA-256
+of a canonical JSON encoding of
+
+* the scenario name,
+* the scenario's *fingerprint* — a hash over the cache schema version and
+  the scenario's ``default_params()``, so any change to a scenario's accepted
+  parameters or their defaults silently invalidates all of its old entries
+  (their keys can no longer be produced),
+* the seed, and
+* the fully-resolved parameter dict,
+
+and stores the record in a sharded, append-only JSONL directory.  Re-running
+a matrix with 100 extra seeds then only computes the 100 new seeds; every
+previously-seen ``(scenario, seed, params)`` cell is replayed from disk
+byte-identically (record canonicalisation is the same JSON used by
+:meth:`ExperimentResult.to_json`, so digests match across cold and warm
+runs).
+
+Concurrency: writes go through a single ``O_APPEND`` ``write(2)`` of one
+complete line, so concurrent writers (several schedulers, or several
+processes sharing a cache directory) interleave whole lines rather than
+bytes.  Readers skip lines that fail to parse — a torn or truncated line
+costs one recomputation, never a crash — and duplicate keys resolve
+last-line-wins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Set
+
+from .registry import get_scenario
+from .results import RunRecord
+
+#: Bump to orphan every existing cache entry after an incompatible change to
+#: the key derivation or the stored-record layout.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Fallback cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, tuples as lists."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def scenario_fingerprint(scenario_name: str) -> str:
+    """Hash of the scenario's schema: its name and full default parameters.
+
+    The fingerprint is folded into every cache key, so editing a scenario's
+    ``default_params()`` (adding a knob, changing a default) automatically
+    invalidates its cached runs without touching anyone else's.
+    """
+    scenario = get_scenario(scenario_name)
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "name": scenario_name,
+        "defaults": scenario.default_params(),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def task_key(scenario_name: str, seed: int, params: Mapping[str, Any],
+             fingerprint: str) -> str:
+    """Content address of one run: scenario + fingerprint + seed + params."""
+    payload = {
+        "scenario": scenario_name,
+        "fingerprint": fingerprint,
+        "seed": seed,
+        "params": dict(params),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class CacheStats:
+    """Hit/miss/write accounting for one :class:`RunCache` instance."""
+
+    __slots__ = ("hits", "misses", "writes", "corrupt_lines", "invalidated")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt_lines = 0
+        self.invalidated = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def formatted(self) -> str:
+        return (f"{self.hits}/{self.lookups} hits "
+                f"({self.hit_rate:.0%}), {self.writes} writes, "
+                f"{self.corrupt_lines} corrupt lines skipped")
+
+
+class RunCache:
+    """On-disk store of run records, addressed by :func:`task_key`.
+
+    The store is a directory of ``runs-XX.jsonl`` shards (XX = first key
+    byte), each line one entry.  Shards are parsed lazily on the first lookup
+    that lands in them, so opening a large cache costs nothing until it is
+    actually consulted.
+    """
+
+    SHARD_PREFIX = "runs-"
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        if path is None:
+            path = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._shards: Dict[str, Dict[str, dict]] = {}
+        self._fingerprints: Dict[str, str] = {}
+
+    # -- key helpers ---------------------------------------------------------
+    def fingerprint(self, scenario_name: str) -> str:
+        """Memoised :func:`scenario_fingerprint` (stable per process)."""
+        cached = self._fingerprints.get(scenario_name)
+        if cached is None:
+            cached = scenario_fingerprint(scenario_name)
+            self._fingerprints[scenario_name] = cached
+        return cached
+
+    def key_for(self, scenario_name: str, seed: int, params: Mapping[str, Any]) -> str:
+        return task_key(scenario_name, seed, params, self.fingerprint(scenario_name))
+
+    # -- shard machinery -----------------------------------------------------
+    def _shard_path(self, shard: str) -> Path:
+        return self.path / f"{self.SHARD_PREFIX}{shard}.jsonl"
+
+    def _load_shard(self, shard: str) -> Dict[str, dict]:
+        loaded = self._shards.get(shard)
+        if loaded is not None:
+            return loaded
+        entries: Dict[str, dict] = {}
+        shard_path = self._shard_path(shard)
+        try:
+            raw = shard_path.read_bytes()
+        except OSError:
+            raw = b""
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                record = entry["record"]
+                # Minimal shape check so a valid-JSON-but-wrong line cannot
+                # produce a broken RunRecord later.
+                if not isinstance(record["params"], dict):
+                    raise TypeError("params must be a dict")
+                if not isinstance(record["metrics"], dict):
+                    raise TypeError("metrics must be a dict")
+            except Exception:
+                # Torn write, truncation, or foreign garbage: the line is
+                # worth one recomputation, not a crash.
+                self.stats.corrupt_lines += 1
+                continue
+            entries[key] = entry
+        self._shards[shard] = entries
+        return entries
+
+    def _shard_names_on_disk(self) -> Iterator[str]:
+        prefix = self.SHARD_PREFIX
+        for entry in sorted(self.path.glob(f"{prefix}*.jsonl")):
+            yield entry.name[len(prefix):-len(".jsonl")]
+
+    # -- lookup / insert -----------------------------------------------------
+    def get(self, scenario_name: str, seed: int,
+            params: Mapping[str, Any]) -> Optional[RunRecord]:
+        """The cached record for a task, or ``None`` (a miss)."""
+        key = self.key_for(scenario_name, seed, params)
+        entry = self._load_shard(key[:2]).get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        record = entry["record"]
+        return RunRecord(scenario=record["scenario"], seed=record["seed"],
+                         params=record["params"], metrics=record["metrics"])
+
+    def put(self, record: RunRecord) -> None:
+        """Persist one run record (append-only, multi-process safe)."""
+        key = self.key_for(record.scenario, record.seed, record.params)
+        entry = {
+            "key": key,
+            "fingerprint": self.fingerprint(record.scenario),
+            "record": record.canonical(),
+        }
+        # The leading newline makes appends self-healing: if the previous
+        # write was torn (process killed mid-write, no trailing newline),
+        # this write terminates the partial line instead of merging into it.
+        # Readers skip the resulting blank lines.
+        line = b"\n" + canonical_json(entry).encode("utf-8") + b"\n"
+        fd = os.open(self._shard_path(key[:2]), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+        self.stats.writes += 1
+        shard = self._shards.get(key[:2])
+        if shard is not None:
+            shard[key] = entry
+
+    # -- maintenance ---------------------------------------------------------
+    def invalidate_stale(self) -> int:
+        """Rewrite every shard dropping entries with outdated fingerprints.
+
+        Stale entries (whose scenario fingerprint no longer matches the
+        registered scenario) can never be *hit* — their keys are not derivable
+        any more — but they still occupy disk; this reclaims them.  Entries
+        for scenarios that are no longer registered are dropped too.  Returns
+        the number of entries removed.
+        """
+        removed = 0
+        current: Dict[str, Optional[str]] = {}
+        for shard in list(self._shard_names_on_disk()):
+            entries = self._load_shard(shard)
+            kept: Dict[str, dict] = {}
+            for key, entry in entries.items():
+                name = entry["record"]["scenario"]
+                if name not in current:
+                    try:
+                        current[name] = self.fingerprint(name)
+                    except KeyError:
+                        current[name] = None
+                if entry.get("fingerprint") == current[name]:
+                    kept[key] = entry
+                else:
+                    removed += 1
+            if len(kept) != len(entries):
+                shard_path = self._shard_path(shard)
+                tmp_path = shard_path.with_suffix(".jsonl.tmp")
+                payload = b"".join(canonical_json(entry).encode("utf-8") + b"\n"
+                                   for entry in kept.values())
+                tmp_path.write_bytes(payload)
+                os.replace(tmp_path, shard_path)
+                self._shards[shard] = kept
+        self.stats.invalidated += removed
+        return removed
+
+    def clear(self) -> None:
+        """Remove every shard file (the directory itself is kept)."""
+        for shard in list(self._shard_names_on_disk()):
+            try:
+                self._shard_path(shard).unlink()
+            except OSError:
+                pass
+        self._shards.clear()
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        keys: Set[str] = set()
+        for shard in self._shard_names_on_disk():
+            keys.update(self._load_shard(shard))
+        return len(keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RunCache {self.path} [{self.stats.formatted()}]>"

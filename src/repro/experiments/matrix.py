@@ -6,10 +6,14 @@ only blind spoofing, fragment handling stops only the defragmentation
 splice, the §V mitigations stop a single poisoning but not a sustained
 hijack, and only content authentication (DNSSEC) stops everything.  This
 module fans the full grid — every attack under every named defense stack —
-through :class:`~repro.experiments.runner.ExperimentRunner`, one runner per
-attack row with the stacks as an explicit ``param_sets`` sweep, so each cell
-aggregates the same seeds and the whole matrix inherits the runner's
-byte-identical-across-worker-counts determinism.
+through the shared :class:`~repro.experiments.scheduler.SweepScheduler`: one
+:class:`~repro.experiments.runner.ExperimentSpec` per attack row with the
+stacks as an explicit ``param_sets`` sweep, all rows flattened into a single
+task stream on one worker pool (no per-row pool spawns, no inter-row
+barriers), so each cell aggregates the same seeds and the whole matrix
+inherits the scheduler's byte-identical-across-worker-counts determinism.
+With a :class:`~repro.experiments.cache.RunCache` attached, extending the
+grid by a seed or a stack only computes the new cells.
 """
 
 from __future__ import annotations
@@ -19,8 +23,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .cache import RunCache
 from .results import ConfidenceInterval, ExperimentResult
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, ExperimentSpec
+from .scheduler import SweepScheduler, SweepStats
 
 #: Seconds of hijack that blanket the whole 24-hour generation window.
 SUSTAINED_HIJACK_DURATION = 24 * 3600.0 + 1200.0
@@ -127,6 +133,9 @@ class DefenseMatrixResult:
     stacks: Tuple[DefenseStackSpec, ...]
     cells: Dict[Tuple[str, str], MatrixCell]
     elapsed_seconds: float = 0.0
+    #: Execution accounting from the shared scheduler (``None`` when the
+    #: legacy per-row path ran); deliberately excluded from :meth:`digest`.
+    sweep_stats: Optional[SweepStats] = None
 
     def cell(self, attack: str, stack: str) -> MatrixCell:
         try:
@@ -186,31 +195,53 @@ class DefenseMatrixResult:
         return self.cell("chronos_24h_hijack", stack).success_rate
 
 
+def matrix_specs(attacks: Sequence[AttackSpec],
+                 stacks: Sequence[DefenseStackSpec],
+                 seeds: Sequence[int]) -> List[ExperimentSpec]:
+    """One :class:`ExperimentSpec` per attack row, stacks as ``param_sets``."""
+    return [
+        ExperimentSpec(
+            scenario=attack.scenario,
+            seeds=tuple(seeds),
+            base_params=dict(attack.params),
+            param_sets=tuple({"defenses": stack.defenses} for stack in stacks),
+        )
+        for attack in attacks
+    ]
+
+
 def run_defense_matrix(attacks: Sequence[AttackSpec] = DEFAULT_ATTACKS,
                        stacks: Sequence[DefenseStackSpec] = DEFAULT_STACKS,
                        seeds: Sequence[int] = (1, 2),
-                       workers: int = 1) -> DefenseMatrixResult:
+                       workers: int = 1,
+                       cache: Optional[RunCache] = None,
+                       shared_scheduler: bool = True) -> DefenseMatrixResult:
     """Run every attack under every defense stack and aggregate per cell.
 
-    One :class:`ExperimentRunner` per attack row; the stacks become that
-    row's explicit ``param_sets`` sweep, so a row's runs parallelise across
-    both stacks and seeds.
+    One :class:`ExperimentSpec` per attack row with the stacks as that row's
+    explicit ``param_sets`` sweep.  By default all rows execute as one task
+    stream on a single shared worker pool; ``shared_scheduler=False`` keeps
+    the legacy one-:class:`ExperimentRunner`-per-row behaviour (a fresh pool
+    and a full barrier per row), retained for benchmarking the difference.
+    Either way the cell records — and therefore :meth:`DefenseMatrixResult.
+    digest` — are byte-identical across worker counts, across the two
+    execution paths, and across cold and warm ``cache`` runs.
     """
     attacks = tuple(attacks)
     stacks = tuple(stacks)
     seeds = tuple(seeds)
     start = time.perf_counter()
+    specs = matrix_specs(attacks, stacks, seeds)
+    stats: Optional[SweepStats] = None
+    if shared_scheduler:
+        row_results, stats = SweepScheduler(workers=workers, cache=cache).run_specs(specs)
+    else:
+        row_results = [ExperimentRunner(spec=spec, workers=workers, cache=cache).run()
+                       for spec in specs]
     cells: Dict[Tuple[str, str], MatrixCell] = {}
-    for attack in attacks:
-        row_result = ExperimentRunner(
-            attack.scenario,
-            seeds=seeds,
-            base_params=dict(attack.params),
-            param_sets=[{"defenses": stack.defenses} for stack in stacks],
-            workers=workers,
-        ).run()
+    per_stack = len(seeds)
+    for attack, row_result in zip(attacks, row_results):
         # Task order is param_sets-major, seeds inner; slice back per stack.
-        per_stack = len(seeds)
         for index, stack in enumerate(stacks):
             records = row_result.records[index * per_stack:(index + 1) * per_stack]
             cells[(attack.label, stack.name)] = MatrixCell(
@@ -223,4 +254,5 @@ def run_defense_matrix(attacks: Sequence[AttackSpec] = DEFAULT_ATTACKS,
         stacks=stacks,
         cells=cells,
         elapsed_seconds=time.perf_counter() - start,
+        sweep_stats=stats,
     )

@@ -2,23 +2,26 @@
 
 An :class:`ExperimentSpec` describes a sweep declaratively — one scenario, a
 set of seeds, and either a cartesian parameter ``grid`` or an explicit list
-of ``param_sets`` — and :class:`ExperimentRunner` fans it out over a
-``multiprocessing`` pool.  Tasks are pure (scenario name, seed, params)
-tuples, workers return :class:`~repro.experiments.results.RunRecord` values,
-and the pool's ``map`` reassembles them in submission order, so the result
-of a sweep is byte-identical no matter how many workers executed it.
+of ``param_sets`` — and :class:`ExperimentRunner` fans it out through the
+shared :class:`~repro.experiments.scheduler.SweepScheduler`.  Tasks are pure
+(scenario name, seed, params) tuples, workers return
+:class:`~repro.experiments.results.RunRecord` values, and the scheduler
+reassembles them in submission order, so the result of a sweep is
+byte-identical no matter how many workers executed it.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .registry import get_scenario, merge_params
 from .results import ExperimentResult, RunRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .cache import RunCache
 
 #: A unit of work: (scenario name, seed, fully-resolved parameter dict).
 Task = Tuple[str, int, Dict[str, Any]]
@@ -40,6 +43,20 @@ def _execute_task(task: Task) -> RunRecord:
     name, seed, params = task
     metrics = run_scenario(name, seed, params)
     return RunRecord(scenario=name, seed=seed, params=params, metrics=metrics)
+
+
+def resolve_spec_tasks(spec: "ExperimentSpec") -> List[Task]:
+    """A spec's fully-resolved task list: defaults merged, unknown keys rejected.
+
+    Resolving up-front (rather than in the worker) means every
+    :class:`RunRecord` carries the complete effective configuration and a bad
+    parameter name fails fast, before any subprocess is spawned.  The single
+    definition is shared by :meth:`ExperimentRunner.tasks` and the scheduler's
+    multi-spec path so the two can never diverge.
+    """
+    defaults = get_scenario(spec.scenario).default_params()
+    return [(name, seed, merge_params(defaults, params))
+            for name, seed, params in spec.tasks()]
 
 
 @dataclass(frozen=True)
@@ -85,11 +102,16 @@ class ExperimentRunner:
     """Fans a scenario out over seeds and a parameter grid, optionally in
     parallel, and aggregates the runs into an :class:`ExperimentResult`.
 
-    ``workers=1`` runs inline (no subprocesses); any higher count uses a
-    ``multiprocessing`` pool with ``chunksize=1`` so long-tailed runs load-
-    balance.  Because every run is fully determined by ``(scenario, seed,
-    params)`` and results are reassembled in task order, the aggregate is
-    byte-identical across worker counts.
+    Execution is delegated to :class:`~repro.experiments.scheduler.
+    SweepScheduler`: ``workers=1`` — or any sweep with no more tasks than
+    workers, where forking a pool would idle workers and cost more than the
+    tasks — runs inline, larger sweeps share a ``multiprocessing`` pool with
+    guided (decreasing) chunk sizes so long-tailed runs load-balance.
+    Because every run is fully determined by ``(scenario, seed, params)`` and
+    results are reassembled in task order, the aggregate is byte-identical
+    across worker counts.  Passing a :class:`~repro.experiments.cache.
+    RunCache` makes re-runs incremental: previously-computed cells replay
+    from disk.
     """
 
     def __init__(self, scenario: Optional[str] = None, *,
@@ -98,6 +120,7 @@ class ExperimentRunner:
                  grid: Optional[Mapping[str, Sequence[Any]]] = None,
                  param_sets: Optional[Sequence[Mapping[str, Any]]] = None,
                  workers: int = 1,
+                 cache: Optional["RunCache"] = None,
                  spec: Optional[ExperimentSpec] = None) -> None:
         if (spec is None) == (scenario is None):
             raise ValueError("pass either a scenario name or a prebuilt spec")
@@ -114,26 +137,20 @@ class ExperimentRunner:
             raise ValueError("workers must be at least 1")
         self.spec = spec
         self.workers = workers
+        self.cache = cache
 
     def tasks(self) -> List[Task]:
-        """Fully-resolved task list: defaults merged, unknown keys rejected.
-
-        Resolving up-front (rather than in the worker) means every
-        :class:`RunRecord` carries the complete effective configuration and
-        a bad parameter name fails fast, before any subprocess is spawned.
-        """
-        defaults = get_scenario(self.spec.scenario).default_params()
-        return [(name, seed, merge_params(defaults, params))
-                for name, seed, params in self.spec.tasks()]
+        """Fully-resolved task list (see :func:`resolve_spec_tasks`)."""
+        return resolve_spec_tasks(self.spec)
 
     def run(self) -> ExperimentResult:
-        tasks = self.tasks()
+        # Imported here (not at module top) because the scheduler imports
+        # this module for the picklable task/worker definitions.
+        from .scheduler import SweepScheduler
+
+        scheduler = SweepScheduler(workers=self.workers, cache=self.cache)
         start = time.perf_counter()
-        if self.workers == 1 or len(tasks) <= 1:
-            records = [_execute_task(task) for task in tasks]
-        else:
-            with multiprocessing.Pool(processes=self.workers) as pool:
-                records = pool.map(_execute_task, tasks, chunksize=1)
+        records, _ = scheduler.run_tasks(self.tasks())
         elapsed = time.perf_counter() - start
         return ExperimentResult(scenario=self.spec.scenario, records=records,
                                 elapsed_seconds=elapsed)

@@ -1,0 +1,213 @@
+"""Shared sweep-execution layer: one worker pool for any number of sweeps.
+
+:class:`~repro.experiments.runner.ExperimentRunner` executes one spec;
+the defense matrix is five of them, and the pre-scheduler implementation
+fanned each row through its *own* ``multiprocessing.Pool`` — paying the pool
+spawn cost five times and idling every worker at the barrier between rows.
+:class:`SweepScheduler` instead flattens all cells of any list of
+:class:`~repro.experiments.runner.ExperimentSpec`\\ s into a single task
+stream, executes it on one shared pool, and reassembles the per-spec
+:class:`~repro.experiments.results.ExperimentResult`\\ s in deterministic
+order.
+
+Guarantees:
+
+* **Determinism** — every task is a pure function of ``(scenario, seed,
+  params)`` and results are reassembled by task index, so the output is
+  byte-identical no matter how many workers executed it, in which order the
+  chunks completed, or how many of the records came from the cache.
+* **Long-tail awareness** — tasks are dispatched in *guided* chunks
+  (``remaining / (2 * workers)``, floor 1): early chunks are large to
+  amortise IPC, late chunks shrink to single tasks so one slow scenario
+  cannot leave the other workers idle at the end of the stream.
+* **No idle workers** — when the (post-cache) pending task count does not
+  exceed the worker count, execution falls back inline: forking a pool that
+  runs one task per worker costs more than the tasks themselves for the
+  packet-level scenarios in this reproduction.
+* **Incremental re-runs** — with a :class:`~repro.experiments.cache.RunCache`
+  attached, previously-computed cells are replayed from disk and only the
+  genuinely new ``(scenario, seed, params)`` combinations reach the pool;
+  new records are written back as they complete (per task inline, per chunk
+  pooled — always from the parent process, safe alongside other processes
+  appending to the same store), so even an interrupted sweep resumes from
+  everything it finished.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .cache import RunCache
+from .results import ExperimentResult, RunRecord
+from .runner import ExperimentSpec, Task, _execute_task, resolve_spec_tasks
+
+
+def guided_chunk_sizes(task_count: int, workers: int) -> List[int]:
+    """Decreasing chunk sizes covering ``task_count`` tasks (guided
+    self-scheduling, as in OpenMP's ``schedule(guided)``).
+
+    Each chunk takes ``remaining / (2 * workers)`` tasks (minimum one), so
+    dispatch overhead is amortised up front while the tail of the stream is
+    handed out one task at a time for load balancing.
+    """
+    if task_count < 0:
+        raise ValueError("task_count must be non-negative")
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    sizes: List[int] = []
+    remaining = task_count
+    while remaining > 0:
+        size = max(1, remaining // (2 * workers))
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def _execute_chunk(job: Tuple[int, List[Task]]) -> Tuple[int, List[RunRecord]]:
+    """Worker entry point: run a chunk, tagged with its stream offset."""
+    start, tasks = job
+    return start, [_execute_task(task) for task in tasks]
+
+
+@dataclass
+class SweepStats:
+    """What one scheduler invocation did, for reporting and benchmarks."""
+
+    tasks_total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    executed_inline: bool = False
+    chunks: int = 0
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    def formatted(self) -> str:
+        mode = "inline" if self.executed_inline else f"{self.workers} workers"
+        return (f"{self.tasks_total} tasks: {self.cache_hits} cached, "
+                f"{self.executed} executed ({mode}, {self.chunks} chunks) "
+                f"in {self.elapsed_seconds:.2f}s")
+
+
+class SweepScheduler:
+    """Executes task streams for one or many sweeps on a single shared pool.
+
+    Parameters
+    ----------
+    workers:
+        Maximum worker processes.  ``1`` always runs inline.
+    cache:
+        Optional :class:`RunCache`; hits skip execution, misses are written
+        back after the stream completes.
+    """
+
+    def __init__(self, workers: int = 1, cache: Optional[RunCache] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.cache = cache
+
+    # -- task-level API ------------------------------------------------------
+    def run_tasks(self, tasks: Sequence[Task]) -> Tuple[List[RunRecord], SweepStats]:
+        """Execute fully-resolved tasks, returning records in task order."""
+        start_time = time.perf_counter()
+        stats = SweepStats(tasks_total=len(tasks), workers=self.workers)
+        records: List[Optional[RunRecord]] = [None] * len(tasks)
+
+        pending: List[Tuple[int, Task]] = []
+        if self.cache is not None:
+            for index, task in enumerate(tasks):
+                cached = self.cache.get(*task)
+                if cached is not None:
+                    records[index] = cached
+                else:
+                    pending.append((index, task))
+            stats.cache_hits = len(tasks) - len(pending)
+        else:
+            pending = list(enumerate(tasks))
+
+        stats.executed = len(pending)
+        if pending:
+            computed = self._execute(pending, stats)
+            for (index, _), record in zip(pending, computed):
+                records[index] = record
+
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return list(records), stats  # type: ignore[arg-type]
+
+    def _persist(self, records: Sequence[RunRecord]) -> None:
+        """Write freshly-computed records to the cache as they arrive.
+
+        Called from the execution loops (per task inline, per completed chunk
+        pooled) rather than after the whole stream, so an interrupted sweep
+        still resumes from everything it finished — the append-only store
+        tolerates the partial run.
+        """
+        if self.cache is not None:
+            for record in records:
+                self.cache.put(record)
+
+    def _execute(self, pending: List[Tuple[int, Task]],
+                 stats: SweepStats) -> List[RunRecord]:
+        """Run the pending tasks, preserving their given order in the result."""
+        tasks = [task for _, task in pending]
+        # A pool only pays off when there are more tasks than workers;
+        # otherwise fork/teardown costs more than the tasks themselves.
+        if self.workers == 1 or len(tasks) <= self.workers:
+            stats.executed_inline = True
+            stats.chunks = len(tasks)
+            results_inline: List[RunRecord] = []
+            for task in tasks:
+                record = _execute_task(task)
+                self._persist((record,))
+                results_inline.append(record)
+            return results_inline
+
+        jobs: List[Tuple[int, List[Task]]] = []
+        offset = 0
+        for size in guided_chunk_sizes(len(tasks), self.workers):
+            jobs.append((offset, tasks[offset:offset + size]))
+            offset += size
+        stats.chunks = len(jobs)
+
+        results: List[Optional[List[RunRecord]]] = [None] * len(jobs)
+        starts = {start: slot for slot, (start, _) in enumerate(jobs)}
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            # Unordered completion + index-tagged chunks: fast workers move
+            # on to the next chunk immediately, determinism comes from the
+            # reassembly below rather than from dispatch order.
+            for start, chunk_records in pool.imap_unordered(_execute_chunk, jobs):
+                self._persist(chunk_records)
+                results[starts[start]] = chunk_records
+        flattened: List[RunRecord] = []
+        for chunk_records in results:
+            assert chunk_records is not None
+            flattened.extend(chunk_records)
+        return flattened
+
+    # -- spec-level API ------------------------------------------------------
+    def run_specs(self, specs: Sequence[ExperimentSpec]
+                  ) -> Tuple[List[ExperimentResult], SweepStats]:
+        """Run every spec's cells as one flattened stream; one result per spec.
+
+        Each returned :class:`ExperimentResult` carries the records of its
+        spec, in that spec's own task order; ``elapsed_seconds`` is the
+        shared wall-clock of the whole stream (the per-spec share is not
+        meaningful under a shared pool).
+        """
+        all_tasks: List[Task] = []
+        boundaries: List[Tuple[int, int]] = []
+        for spec in specs:
+            resolved = resolve_spec_tasks(spec)
+            boundaries.append((len(all_tasks), len(all_tasks) + len(resolved)))
+            all_tasks.extend(resolved)
+        records, stats = self.run_tasks(all_tasks)
+        results = [
+            ExperimentResult(scenario=spec.scenario,
+                             records=records[start:stop],
+                             elapsed_seconds=stats.elapsed_seconds)
+            for spec, (start, stop) in zip(specs, boundaries)
+        ]
+        return results, stats

@@ -21,7 +21,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .packets import IPPacket, IPV4_HEADER_SIZE, PacketError, UDP_HEADER_SIZE, UDPDatagram
+from .packets import IPV4_HEADER_SIZE, UDP_HEADER_SIZE, IPPacket, PacketError, UDPDatagram
 
 
 class OverlapPolicy(enum.Enum):

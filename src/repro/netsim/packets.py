@@ -50,21 +50,25 @@ def udp_checksum(src_ip: str, dst_ip: str, src_port: int, dst_port: int, payload
     code models both the "attacker compensates correctly" and "checksum
     mismatch, datagram dropped" outcomes using this function.
     """
-    pseudo = bytearray()
-    for address in (src_ip, dst_ip):
-        value = ip_to_int(address)
-        pseudo += bytes([(value >> 24) & 0xFF, (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF])
     length = UDP_HEADER_SIZE + len(payload)
-    pseudo += bytes([0, PROTO_UDP])
-    pseudo += length.to_bytes(2, "big")
-    header = src_port.to_bytes(2, "big") + dst_port.to_bytes(2, "big") + length.to_bytes(2, "big") + b"\x00\x00"
-    data = bytes(pseudo) + header + payload
+    data = (
+        ip_to_int(src_ip).to_bytes(4, "big")
+        + ip_to_int(dst_ip).to_bytes(4, "big")
+        + bytes([0, PROTO_UDP])
+        + length.to_bytes(2, "big")
+        + src_port.to_bytes(2, "big")
+        + dst_port.to_bytes(2, "big")
+        + length.to_bytes(2, "big")
+        + b"\x00\x00"
+        + payload
+    )
     if len(data) % 2:
         data += b"\x00"
-    total = 0
-    for i in range(0, len(data), 2):
-        total += (data[i] << 8) | data[i + 1]
-        total = (total & 0xFFFF) + (total >> 16)
+    # The ones'-complement sum of the 16-bit words equals the whole buffer
+    # read as one big-endian integer reduced mod 0xFFFF (2^16 ≡ 1 mod 65535),
+    # which lets CPython do the summation in C instead of a per-word loop —
+    # this function runs once per datagram on the simulated wire.
+    total = int.from_bytes(data, "big") % 0xFFFF
     checksum = (~total) & 0xFFFF
     return checksum or 0xFFFF
 

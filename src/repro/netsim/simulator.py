@@ -12,6 +12,14 @@ seeding of every random decision through a single :class:`random.Random`
 instance owned by the simulator.  Determinism matters because the experiment
 harness compares attack outcomes across configurations; two runs with the
 same seed and the same configuration must produce identical traces.
+
+The heap is a hot path: a single matrix sweep steps through millions of
+events, so entries are plain ``(time, sequence, event)`` tuples (tuple
+comparison, no per-comparison dataclass ``__lt__``) and the event objects are
+``__slots__``-based.  Cancelled events are removed lazily when they surface
+at the heap top and compacted in bulk once they outnumber half of the queue,
+so long sweeps with many timeout cancellations (every answered DNS query
+cancels its timeout) do not accumulate dead heap entries.
 """
 
 from __future__ import annotations
@@ -19,37 +27,47 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven in an inconsistent way."""
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    """Internal heap entry.
+    """Internal heap payload; ordering lives in the enclosing tuple."""
 
-    Ordering is (time, sequence) so that events scheduled for the same
-    simulated instant fire in insertion order, which keeps traces stable.
-    """
+    __slots__ = ("time", "callback", "cancelled", "fired")
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+
+#: Heap entry: (time, sequence, event).  Events scheduled for the same
+#: simulated instant fire in insertion order, which keeps traces stable.
+_HeapEntry = Tuple[float, int, _ScheduledEvent]
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule` allowing cancellation."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    __slots__ = ("_event", "_simulator")
+
+    def __init__(self, event: _ScheduledEvent, simulator: "Simulator") -> None:
         self._event = event
+        self._simulator = simulator
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if not event.fired:
+            self._simulator._note_cancellation()
 
     @property
     def cancelled(self) -> bool:
@@ -77,19 +95,39 @@ class Simulator:
         epoch value; the default of ``0.0`` is fine for everything else.
     """
 
+    #: Compaction trigger: once at least this many cancelled events are
+    #: pending *and* they make up half of the heap, the heap is rebuilt
+    #: without them.  Small enough that long timeout-heavy sweeps stay lean,
+    #: large enough that compaction cost is amortised over many cancels.
+    COMPACT_THRESHOLD = 64
+
     def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: List[_ScheduledEvent] = []
+        self._queue: List[_HeapEntry] = []
         self._sequence = itertools.count()
         self._running = False
+        self._cancelled_pending = 0
         self.rng = random.Random(seed)
         self.seed = seed
         self.events_processed = 0
+        #: Total not-yet-fired events that were cancelled (dead heap entries
+        #: created); compaction and lazy pops reclaim exactly these.
+        self.events_cancelled = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def queue_length(self) -> int:
+        """Heap entries currently held, including not-yet-reclaimed cancels."""
+        return len(self._queue)
+
+    @property
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events still waiting to fire."""
+        return len(self._queue) - self._cancelled_pending
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now.
@@ -100,30 +138,57 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay}s in the past")
-        event = _ScheduledEvent(self._now + delay, next(self._sequence), callback)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        event = _ScheduledEvent(self._now + delay, callback)
+        heapq.heappush(self._queue, (event.time, next(self._sequence), event))
+        return EventHandle(event, self)
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute simulated time ``when``."""
         return self.schedule(when - self._now, callback)
 
+    # -- cancelled-event bookkeeping -----------------------------------------
+    def _note_cancellation(self) -> None:
+        self.events_cancelled += 1
+        self._cancelled_pending += 1
+        if (self._cancelled_pending >= self.COMPACT_THRESHOLD
+                and self._cancelled_pending * 2 >= len(self._queue)):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every cancelled entry from the heap and re-heapify.
+
+        Called automatically once cancelled entries dominate the queue; also
+        callable explicitly by long-running drivers between phases.
+        """
+        if not self._cancelled_pending:
+            return
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+
     def peek_next_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._cancelled_pending -= 1
+        if not queue:
             return None
-        return self._queue[0].time
+        return queue[0][0]
 
     def step(self) -> bool:
         """Run the single next event.  Returns ``False`` if none is pending."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _, event = heapq.heappop(queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
-            self._now = event.time
-            event.callback()
+            self._now = time
+            event.fired = True
+            callback = event.callback
+            event.callback = None  # free the closure promptly
+            callback()
             self.events_processed += 1
             return True
         return False

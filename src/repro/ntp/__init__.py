@@ -14,8 +14,8 @@ from .packet import (
 from .query import NTPQuerier, TimeSample
 from .selection import (
     SelectionResult,
-    combine_offset,
     cluster_survivors,
+    combine_offset,
     marzullo_intersection,
     ntpd_select,
     sample_interval,

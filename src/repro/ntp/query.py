@@ -16,7 +16,7 @@ from typing import Callable, Dict, Optional, Tuple
 from ..netsim.network import Host
 from ..netsim.packets import UDPDatagram
 from .clock import SystemClock
-from .packet import NTPMode, NTPPacket, NTP_PORT, PacketFormatError
+from .packet import NTP_PORT, NTPMode, NTPPacket, PacketFormatError
 from .timestamps import ExchangeTimestamps
 
 

@@ -14,7 +14,7 @@ from typing import Callable, Optional
 from ..netsim.network import Host, Network
 from ..netsim.packets import UDPDatagram
 from .clock import SystemClock
-from .packet import LeapIndicator, NTPMode, NTPPacket, NTP_PORT, PacketFormatError
+from .packet import NTP_PORT, LeapIndicator, NTPMode, NTPPacket, PacketFormatError
 
 #: Scripted shift: maps true time to the shift (seconds) the server applies.
 ShiftSchedule = Callable[[float], float]

@@ -7,6 +7,7 @@ import math
 import pytest
 
 from repro.core.security_analysis import (
+    AnalysisError,
     attack_threshold,
     cumulative_shift_bound,
     hypergeometric_pmf,
@@ -275,7 +276,7 @@ def test_cumulative_bound_scales_with_target():
 
 
 def test_cumulative_bound_rejects_bad_parameters():
-    with pytest.raises(Exception):
+    with pytest.raises(AnalysisError):
         cumulative_shift_bound(96, 31, target_shift=0.0)
-    with pytest.raises(Exception):
+    with pytest.raises(AnalysisError):
         cumulative_shift_bound(96, 31, target_shift=0.1, per_round_shift=-1.0)

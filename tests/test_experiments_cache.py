@@ -1,0 +1,200 @@
+"""Tests for the persistent, content-addressed run cache.
+
+The contracts: a hit replays the exact canonical record (digest-identical to
+recomputing it), a fingerprint change invalidates silently, corruption costs
+a recomputation rather than a crash, and concurrent writers never lose each
+other's whole lines.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    RunCache,
+    RunRecord,
+    register_scenario,
+    scenario_fingerprint,
+    task_key,
+)
+from repro.experiments.registry import _REGISTRY
+
+CHEAP = {"benign_server_count": 10}
+
+
+def make_record(seed: int = 1, scenario: str = "synthetic") -> RunRecord:
+    return RunRecord(scenario=scenario, seed=seed,
+                     params={"knob": seed, "defenses": ()},
+                     metrics={"attack_succeeded": seed % 2 == 0,
+                              "achieved_shift": float(seed)})
+
+
+class _SyntheticScenario:
+    """A registry scenario whose fingerprint the tests can mutate."""
+
+    name = "synthetic"
+    description = "fingerprint-mutation fixture"
+    _defaults = {"knob": 0, "defenses": ()}
+
+    def default_params(self):
+        return dict(self._defaults)
+
+    def run(self, seed, params):  # pragma: no cover - never executed here
+        return {"attack_succeeded": False}
+
+
+@pytest.fixture
+def synthetic_scenario():
+    instance = _SyntheticScenario()
+    register_scenario(instance)
+    try:
+        yield instance
+    finally:
+        _REGISTRY.pop(instance.name, None)
+
+
+@pytest.fixture
+def cache(tmp_path, synthetic_scenario):
+    return RunCache(tmp_path / "store")
+
+
+# -- hit/miss accounting -----------------------------------------------------
+
+def test_miss_then_hit_accounting(cache):
+    record = make_record(seed=3)
+    assert cache.get("synthetic", 3, record.params) is None
+    cache.put(record)
+    replayed = cache.get("synthetic", 3, record.params)
+    assert replayed is not None
+    assert replayed.metrics == {"attack_succeeded": False, "achieved_shift": 3.0}
+    assert (cache.stats.hits, cache.stats.misses, cache.stats.writes) == (1, 1, 1)
+    assert cache.stats.hit_rate == 0.5
+    assert "1/2 hits" in cache.stats.formatted()
+
+
+def test_replayed_record_is_digest_identical(cache):
+    """The canonical JSON (the digest input) survives the disk round-trip."""
+    record = make_record(seed=4)
+    cache.put(record)
+    replayed = cache.get("synthetic", 4, record.params)
+    canonical = json.dumps(record.canonical(), sort_keys=True, separators=(",", ":"))
+    replay_canonical = json.dumps(replayed.canonical(), sort_keys=True,
+                                  separators=(",", ":"))
+    assert canonical == replay_canonical
+
+
+def test_different_params_seed_and_scenario_do_not_collide(cache):
+    cache.put(make_record(seed=1))
+    assert cache.get("synthetic", 2, {"knob": 2, "defenses": ()}) is None
+    assert cache.get("synthetic", 1, {"knob": 99, "defenses": ()}) is None
+    fingerprint = scenario_fingerprint("synthetic")
+    key_a = task_key("synthetic", 1, {"knob": 1}, fingerprint)
+    key_b = task_key("synthetic", 1, {"knob": 2}, fingerprint)
+    assert key_a != key_b
+
+
+def test_cache_persists_across_instances(cache, tmp_path):
+    cache.put(make_record(seed=5))
+    reopened = RunCache(tmp_path / "store")
+    assert reopened.get("synthetic", 5, make_record(seed=5).params) is not None
+    assert len(reopened) == 1
+
+
+# -- fingerprint invalidation -------------------------------------------------
+
+def test_fingerprint_change_invalidates_entries(cache, synthetic_scenario):
+    record = make_record(seed=7)
+    cache.put(record)
+    assert cache.get("synthetic", 7, record.params) is not None
+
+    synthetic_scenario._defaults = {"knob": 0, "defenses": (), "new_knob": True}
+    changed = RunCache(cache.path)  # fresh instance: no memoised fingerprint
+    assert changed.get("synthetic", 7, record.params) is None  # silent miss
+    assert len(changed) == 1  # the stale entry still occupies the store
+    assert changed.invalidate_stale() == 1
+    assert len(changed) == 0
+    assert changed.stats.invalidated == 1
+
+
+def test_invalidate_stale_keeps_current_entries(cache):
+    cache.put(make_record(seed=1))
+    cache.put(make_record(seed=2))
+    assert cache.invalidate_stale() == 0
+    assert len(cache) == 2
+
+
+# -- corruption tolerance ------------------------------------------------------
+
+def test_truncated_store_file_recomputes_instead_of_crashing(cache, tmp_path):
+    record = make_record(seed=9)
+    cache.put(record)
+    cache.put(make_record(seed=10))
+    # Truncate every shard mid-line, simulating a torn final write.
+    for shard in (tmp_path / "store").glob("runs-*.jsonl"):
+        raw = shard.read_bytes()
+        shard.write_bytes(raw[: len(raw) - 7])
+    damaged = RunCache(tmp_path / "store")
+    # The torn tail line is skipped; earlier whole lines still hit.
+    outcomes = [damaged.get("synthetic", seed, make_record(seed=seed).params)
+                for seed in (9, 10)]
+    assert damaged.stats.corrupt_lines >= 1
+    assert any(outcome is None for outcome in outcomes) or damaged.stats.corrupt_lines
+    # A miss is just recomputed and re-stored: the store self-heals.
+    for seed, outcome in zip((9, 10), outcomes):
+        if outcome is None:
+            damaged.put(make_record(seed=seed))
+    healed = RunCache(tmp_path / "store")
+    for seed in (9, 10):
+        assert healed.get("synthetic", seed, make_record(seed=seed).params) is not None
+
+
+def test_foreign_garbage_lines_are_skipped(cache, tmp_path):
+    record = make_record(seed=11)
+    cache.put(record)
+    for shard in (tmp_path / "store").glob("runs-*.jsonl"):
+        with open(shard, "ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write(b'{"valid_json": "wrong shape"}\n')
+    damaged = RunCache(tmp_path / "store")
+    assert damaged.get("synthetic", 11, record.params) is not None
+    assert damaged.stats.corrupt_lines == 2
+
+
+# -- concurrent writers --------------------------------------------------------
+
+def _writer(args):
+    path, seeds = args
+    cache = RunCache(path)
+    for seed in seeds:
+        cache.put(make_record(seed=seed))
+    return len(seeds)
+
+
+def test_parallel_writers_produce_a_consistent_store(cache, tmp_path):
+    all_seeds = list(range(100))
+    jobs = [(tmp_path / "store", all_seeds[i::4]) for i in range(4)]
+    with multiprocessing.Pool(processes=4) as pool:
+        written = pool.map(_writer, jobs)
+    assert sum(written) == 100
+    merged = RunCache(tmp_path / "store")
+    assert len(merged) == 100
+    assert merged.stats.corrupt_lines == 0
+    for seed in all_seeds:
+        assert merged.get("synthetic", seed, make_record(seed=seed).params) is not None
+
+
+# -- end-to-end through the runner ---------------------------------------------
+
+def test_runner_warm_cache_replays_digest_identically(tmp_path):
+    kwargs = dict(seeds=(1, 2), base_params=CHEAP)
+    cold = ExperimentRunner("bgp_hijack", workers=1,
+                            cache=RunCache(tmp_path / "rc"), **kwargs).run()
+    warm_cache = RunCache(tmp_path / "rc")
+    warm = ExperimentRunner("bgp_hijack", workers=1, cache=warm_cache, **kwargs).run()
+    assert cold.digest() == warm.digest()
+    assert cold.to_json() == warm.to_json()
+    assert warm_cache.stats.hits == 2 and warm_cache.stats.misses == 0

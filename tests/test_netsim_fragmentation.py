@@ -10,7 +10,7 @@ from repro.netsim.fragmentation import (
     fragment_datagram,
     parse_udp_wire,
 )
-from repro.netsim.packets import IPPacket, UDPDatagram
+from repro.netsim.packets import IPPacket, PacketError, UDPDatagram
 
 
 def make_datagram(size=1200, src="192.0.2.53", dst="192.0.2.1"):
@@ -60,7 +60,7 @@ def test_fragments_share_ip_id_and_addresses():
 
 
 def test_too_small_mtu_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(PacketError):
         fragment_datagram(make_datagram(100), ip_id=1, mtu=20)
 
 

@@ -192,3 +192,74 @@ def test_clock_never_goes_backwards():
         sim.schedule(delay, lambda: observed.append(sim.now))
     sim.run()
     assert observed == sorted(observed)
+
+
+# -- cancelled-event compaction ------------------------------------------------
+
+def test_events_cancelled_counter_counts_dead_entries_only():
+    sim = Simulator()
+    fired = sim.schedule(1.0, lambda: None)
+    pending = sim.schedule(5.0, lambda: None)
+    sim.run(until=2.0)
+    # Cancelling after the fire is not a dead heap entry.
+    fired.cancel()
+    assert sim.events_cancelled == 0
+    pending.cancel()
+    pending.cancel()  # idempotent: counted once
+    assert sim.events_cancelled == 1
+
+
+def test_mass_cancellation_compacts_the_heap_automatically():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+    assert sim.queue_length == 200
+    for handle in handles[:150]:
+        handle.cancel()
+    # The 100th cancel trips the threshold (>= 64 cancelled making up half
+    # the heap) and compacts 200 entries down to the 100 live ones; the
+    # remaining 50 cancels stay below threshold and are reclaimed lazily.
+    assert sim.queue_length == 100
+    assert sim.pending_events == 50
+    assert sim.events_cancelled == 150
+    sim.run()
+    assert sim.events_processed == 50
+
+
+def test_explicit_compact_drops_cancelled_entries():
+    sim = Simulator()
+    keep = []
+    handles = [sim.schedule(float(i + 1), lambda i=i: keep.append(i)) for i in range(10)]
+    for handle in handles[::2]:
+        handle.cancel()
+    assert sim.queue_length == 10  # below the automatic threshold
+    sim.compact()
+    assert sim.queue_length == 5
+    assert sim.pending_events == 5
+    sim.run()
+    assert keep == [1, 3, 5, 7, 9]
+
+
+def test_compaction_preserves_insertion_order_for_same_time_events():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("a"))
+    doomed = [sim.schedule(1.0, lambda: order.append("dead")) for _ in range(3)]
+    sim.schedule(1.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("c"))
+    for handle in doomed:
+        handle.cancel()
+    sim.compact()
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_peek_and_step_reclaim_cancelled_entries_lazily():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.queue_length == 2
+    assert sim.peek_next_time() == 2.0
+    assert sim.queue_length == 1  # the dead head was popped during the peek
+    assert sim.step() is True
+    assert sim.step() is False

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.ntp.packet import LeapIndicator, NTPMode, NTPPacket, NTP_PACKET_SIZE, PacketFormatError
+from repro.ntp.packet import NTP_PACKET_SIZE, LeapIndicator, NTPMode, NTPPacket, PacketFormatError
 from repro.ntp.timestamps import (
     NTP_UNIX_EPOCH_DELTA,
     ExchangeTimestamps,
