@@ -1,6 +1,6 @@
 """E-matrix: the attack × defense grid as a determinism + wall-clock gate.
 
-Runs the full default matrix (5 attacks × 10 stacks) twice — ``workers=1``
+Runs the full default matrix (6 attacks × 12 stacks) twice — ``workers=1``
 and ``workers=4`` — and asserts the two grids are byte-identical (SHA-256
 over every cell's canonical record encoding) and that the §V residual-hijack
 cell stays at 1.0.  On hosts with at least 4 usable CPUs the parallel run
@@ -32,7 +32,7 @@ def test_defense_matrix_is_deterministic_and_fast(benchmark):
     cpus = usable_cpus()
     min_speedup = float(os.environ.get("MATRIX_MIN_SPEEDUP", "1.5"))
     max_seconds = float(os.environ.get("MATRIX_MAX_SECONDS", "60"))
-    emit("E-matrix — 5-attack × 10-stack defense grid, workers=1 vs workers=4", [
+    emit("E-matrix — 6-attack × 12-stack defense grid, workers=1 vs workers=4", [
         *parallel.formatted(),
         f"workers=1 wall-clock: {sequential.elapsed_seconds:.2f}s",
         f"workers=4 wall-clock: {parallel.elapsed_seconds:.2f}s "

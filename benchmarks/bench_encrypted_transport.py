@@ -1,0 +1,164 @@
+"""E-transport: encrypted-transport overhead and determinism gates.
+
+Three measurements on the new connection-oriented path:
+
+1. **Handshake overhead** — resolve the pool zone N times over plaintext
+   UDP, plain DNS-over-TCP, DoT and DoH in otherwise identical worlds, and
+   compare both the simulated time-to-answer of a single query (the
+   protocol's round trips made visible: UDP 1 RTT, TCP +1 handshake RTT,
+   DoT/DoH +1 more for the TLS hello exchange) and the wall-clock cost per
+   simulated query.
+2. **Determinism** — a multi-seed ``downgrade`` sweep (the scenario
+   exercising SYN floods, connect timeouts, fallback *and* the frag race)
+   must be byte-identical between ``workers=1`` and ``workers=4``, and its
+   digest at the default seeds is pinned.
+3. **Policy table** — the one-line summary the subsystem exists for:
+   strict DoT blocks the downgrade, opportunistic DoT does not.
+
+A JSON artifact (``BENCH_encrypted_transport.json``, override via
+``TRANSPORT_JSON``) records the numbers for CI archiving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.dns.records import RecordType
+from repro.experiments import ExperimentRunner, TestbedConfig, build_testbed
+
+#: Digest of the downgrade sweep at seeds 1..8 across the three policy
+#: stacks, pinned at its introduction (PR 4).
+DOWNGRADE_SWEEP_DIGEST = (
+    "3434dd5189891d0cbc2d03a413e63d6df70c15c7ef8f2fef54d44d83c6205711")
+
+SEED_COUNT = int(os.environ.get("TRANSPORT_SEED_COUNT", "8"))
+QUERIES = int(os.environ.get("TRANSPORT_QUERY_COUNT", "50"))
+
+TRANSPORT_CONFIGS = {
+    "udp": {},
+    "tcp": {"udp_limit": 512},          # every answer truncates -> TCP retry
+    "dot": {"defenses": ("encrypted_transport",)},
+    "doh": {"defenses": ("encrypted_transport_doh",)},
+}
+
+
+def resolve_many(label, queries):
+    """Resolve ``queries`` cache-missing lookups; returns timing figures."""
+    overrides = TRANSPORT_CONFIGS[label]
+    config = TestbedConfig(
+        seed=42,
+        benign_server_count=50,
+        records_per_response=30,
+        nameserver_udp_payload_limit=overrides.get("udp_limit"),
+        nameserver_transports=("tcp",) if label == "tcp" else (),
+        defenses=overrides.get("defenses", ()),
+        with_attacker=False,
+    )
+    testbed = build_testbed(config)
+    answer_times = []
+
+    started = time.perf_counter()
+    for index in range(queries):
+        at = index * 10.0
+        # trigger_lookup bypasses the cache, so every query reaches the
+        # nameserver; the inserted_at >= at check proves *this* query was
+        # answered (peek would happily return the previous query's entry).
+        testbed.simulator.schedule_at(
+            at, lambda: testbed.resolver.trigger_lookup("pool.ntp.org"))
+        testbed.simulator.run(until=at + 9.0)
+        entry = testbed.resolver.cache.peek("pool.ntp.org", RecordType.A)
+        assert entry is not None and entry.inserted_at >= at, (
+            f"{label}: query {index} went unanswered")
+        answer_times.append(entry.inserted_at - at)
+    wall = time.perf_counter() - started
+    return {
+        "simulated_time_to_answer": sum(answer_times) / len(answer_times),
+        "wall_seconds_per_query": wall / queries,
+    }
+
+
+def test_encrypted_transport_gates(benchmark):
+    def workload():
+        timings = {label: resolve_many(label, QUERIES)
+                   for label in TRANSPORT_CONFIGS}
+        sequential = ExperimentRunner(
+            "downgrade", seeds=range(1, SEED_COUNT + 1),
+            param_sets=[{"defenses": ()},
+                        {"defenses": ("encrypted_transport",)},
+                        {"defenses": ("encrypted_transport_opportunistic",)}],
+            workers=1).run()
+        parallel = ExperimentRunner(
+            "downgrade", seeds=range(1, SEED_COUNT + 1),
+            param_sets=[{"defenses": ()},
+                        {"defenses": ("encrypted_transport",)},
+                        {"defenses": ("encrypted_transport_opportunistic",)}],
+            workers=4).run()
+        return timings, sequential, parallel
+
+    timings, sequential, parallel = benchmark.pedantic(workload, rounds=1,
+                                                       iterations=1)
+    per_stack = SEED_COUNT
+    rates = {
+        "plain": sequential.records[:per_stack],
+        "dot_strict": sequential.records[per_stack:2 * per_stack],
+        "dot_opportunistic": sequential.records[2 * per_stack:],
+    }
+    success = {name: sum(r.metrics["attack_succeeded"] for r in records) / per_stack
+               for name, records in rates.items()}
+
+    udp_rtt = timings["udp"]["simulated_time_to_answer"]
+    report = {
+        "seed_count": SEED_COUNT,
+        "queries_per_transport": QUERIES,
+        "simulated_time_to_answer": {
+            label: round(figures["simulated_time_to_answer"], 4)
+            for label, figures in timings.items()},
+        "handshake_overhead_rtts": {
+            label: round((figures["simulated_time_to_answer"] - udp_rtt) / udp_rtt, 2)
+            for label, figures in timings.items()},
+        "wall_seconds_per_query": {
+            label: round(figures["wall_seconds_per_query"], 6)
+            for label, figures in timings.items()},
+        "downgrade_success": success,
+        "digest": sequential.digest(),
+        "digest_pinned": DOWNGRADE_SWEEP_DIGEST if SEED_COUNT == 8 else None,
+        "workers_identical": sequential.digest() == parallel.digest(),
+    }
+    json_path = os.environ.get("TRANSPORT_JSON", "BENCH_encrypted_transport.json")
+    with open(json_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    emit("E-transport — encrypted DNS transports: handshake overhead, "
+         "downgrade sweep determinism", [
+             "time-to-answer (simulated): " + ", ".join(
+                 f"{label}={figures['simulated_time_to_answer'] * 1000:.0f}ms"
+                 for label, figures in timings.items()),
+             "wall clock per query: " + ", ".join(
+                 f"{label}={figures['wall_seconds_per_query'] * 1000:.2f}ms"
+                 for label, figures in timings.items()),
+             f"downgrade success rates: {success}",
+             f"digest identical across workers: {report['workers_identical']}",
+             f"report: {json_path}",
+         ])
+
+    # Gate (a): the protocol round trips are visible and ordered — each
+    # transport pays at least one more RTT than its predecessor.
+    assert udp_rtt > 0
+    assert timings["tcp"]["simulated_time_to_answer"] >= udp_rtt * 2.5
+    assert (timings["dot"]["simulated_time_to_answer"]
+            > timings["tcp"]["simulated_time_to_answer"] * 0.99)
+    assert (timings["doh"]["simulated_time_to_answer"]
+            >= timings["dot"]["simulated_time_to_answer"] * 0.99)
+    # Gate (b): byte-identical across worker counts; pinned at full size.
+    assert report["workers_identical"], "downgrade sweep diverged across workers"
+    if SEED_COUNT == 8:
+        assert sequential.digest() == DOWNGRADE_SWEEP_DIGEST, (
+            f"downgrade sweep digest drifted: {sequential.digest()}")
+    # Gate (c): the policy table the subsystem exists to demonstrate.
+    assert success["plain"] == 1.0
+    assert success["dot_strict"] == 0.0
+    assert success["dot_opportunistic"] == 1.0

@@ -9,6 +9,7 @@ pytest captures it.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterable
 
 
@@ -27,19 +28,18 @@ def cgroup_cpu_quota() -> float:
     quota caps actual parallelism; gating speedup assertions on the mask
     alone would then fail for pure timing reasons.
     """
-    try:  # cgroup v2
-        quota, period = open("/sys/fs/cgroup/cpu.max").read().split()[:2]
+    with contextlib.suppress(OSError, ValueError):  # cgroup v2
+        with open("/sys/fs/cgroup/cpu.max") as handle:
+            quota, period = handle.read().split()[:2]
         if quota != "max":
             return float(quota) / float(period)
-    except (OSError, ValueError):
-        pass
-    try:  # cgroup v1
-        quota = int(open("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").read())
-        period = int(open("/sys/fs/cgroup/cpu/cpu.cfs_period_us").read())
+    with contextlib.suppress(OSError, ValueError):  # cgroup v1
+        with open("/sys/fs/cgroup/cpu/cpu.cfs_quota_us") as handle:
+            quota = int(handle.read())
+        with open("/sys/fs/cgroup/cpu/cpu.cfs_period_us") as handle:
+            period = int(handle.read())
         if quota > 0:
             return quota / period
-    except (OSError, ValueError):
-        pass
     return float("inf")
 
 

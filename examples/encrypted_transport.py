@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Encrypted DNS transports: what strict DoT closes, and what fallback reopens.
+
+Three acts on the new connection-oriented netsim layer:
+
+1. **A DoT query, watched from the wire.**  A resolver resolves the pool
+   zone over DNS-over-TLS while an on-path tap records every packet: the
+   TCP handshake and TLS hello exchange are visible, the question and the
+   answer are not — taps see only ciphertext.
+2. **Strict DoT against every off-path vector.**  Each attack row of the
+   matrix runs against the ``dot_strict`` stack: blind spoofing, the
+   fragment splice, the BGP hijack and even the sustained 24-hour hijack
+   all land at 0.0 — the hijacker can complete a TCP handshake for the
+   diverted address, but holds no certificate key, so resolution fails
+   *closed* instead of poisoned.
+3. **Opportunistic DoT and the downgrade race.**  The same attacker floods
+   the nameserver's stream listeners with spoofed-source SYNs, the
+   opportunistic resolver's connect attempt dies at a full backlog, the
+   query falls back to plaintext UDP — and the classic fragmentation race
+   wins again.  Policy, not cryptography, decides whether the protection
+   is real.
+
+Run with:  python examples/encrypted_transport.py [seeds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.dns.records import RecordType
+from repro.dns.wire import encode_name
+from repro.experiments import ExperimentRunner, TestbedConfig, build_testbed
+
+ZONE = "pool.ntp.org"
+
+ATTACKS = (
+    ("frag_poisoning", {}),
+    ("bgp_hijack", {}),
+    ("traditional_client_attack", {}),
+    ("chronos_pool_attack", {"poison_at_query": 1, "run_time_shift": False,
+                             "benign_server_count": 120}),
+    ("downgrade", {}),
+)
+
+STACKS = (
+    ("plaintext UDP", ()),
+    ("dot_strict", ("encrypted_transport",)),
+    ("dot_opportunistic", ("encrypted_transport_opportunistic",)),
+)
+
+
+def act_one() -> None:
+    print("== 1. a DoT query, watched from the wire ==")
+    testbed = build_testbed(TestbedConfig(
+        seed=1, benign_server_count=50, records_per_response=30,
+        defenses=("encrypted_transport",), with_attacker=False))
+    wire = bytearray()
+    packets = []
+    testbed.network.add_tap(lambda packet, now: (wire.extend(packet.payload),
+                                                 packets.append(packet)))
+    testbed.resolver.trigger_lookup(ZONE)
+    testbed.simulator.run(until=5.0)
+    entry = testbed.resolver.cache.peek(ZONE, RecordType.A)
+    print(f"resolved over DoT: {len(entry.records)} records cached")
+    print(f"packets on the wire: {len(packets)} "
+          f"(handshake + TLS hellos + framed query/answer)")
+    leaked = encode_name(ZONE) in bytes(wire)
+    print(f"question name visible to the on-path tap: {leaked}")
+    assert not leaked
+
+
+def act_two_and_three(seed_count: int) -> None:
+    print("\n== 2+3. every off-path vector × transport policy ==")
+    seeds = range(1, seed_count + 1)
+    width = max(len(name) for name, _ in ATTACKS)
+    header = " " * width + "".join(f" {label:>20}" for label, _ in STACKS)
+    print(header)
+    for attack, params in ATTACKS:
+        row = f"{attack:<{width}}"
+        for _, defenses in STACKS:
+            result = ExperimentRunner(
+                attack, seeds=seeds,
+                base_params={**params, "defenses": defenses}).run()
+            row += f" {result.success_rate():>20.2f}"
+        print(row)
+    print("\nstrict DoT clears every row (the 24h-hijack residual included);")
+    print("opportunistic DoT falls to every attack that can force a downgrade.")
+
+
+def main(seed_count: int = 2) -> None:
+    act_one()
+    act_two_and_three(seed_count)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2)

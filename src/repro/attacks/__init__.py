@@ -28,6 +28,13 @@ from .chronos_pool_attack import (
     analytic_pool_composition,
     minimum_queries_for_attacker_majority,
 )
+from .downgrade import (
+    DNS_STREAM_PORTS,
+    DowngradeConfig,
+    DowngradeResult,
+    DowngradeScenario,
+    SynFloodDowngrader,
+)
 from .frag_poisoning import (
     FragmentationAttackConditions,
     FragmentationAttackReport,
@@ -36,6 +43,7 @@ from .frag_poisoning import (
     FragPoisoningResult,
     FragPoisoningScenario,
     fragmentation_attack_success_probability,
+    model_benign_response,
 )
 from .ntp_shift import (
     OfflineShiftModel,
@@ -68,6 +76,11 @@ __all__ = [
     "TimeShiftResult",
     "analytic_pool_composition",
     "minimum_queries_for_attacker_majority",
+    "DNS_STREAM_PORTS",
+    "DowngradeConfig",
+    "DowngradeResult",
+    "DowngradeScenario",
+    "SynFloodDowngrader",
     "FragmentationAttackConditions",
     "FragmentationAttackReport",
     "FragmentationPoisoner",
@@ -75,6 +88,7 @@ __all__ = [
     "FragPoisoningResult",
     "FragPoisoningScenario",
     "fragmentation_attack_success_probability",
+    "model_benign_response",
     "OfflineShiftModel",
     "ShiftOutcome",
     "chronos_round_offset",

@@ -246,6 +246,31 @@ def fragmentation_attack_success_probability(conditions: FragmentationAttackCond
     return 1.0 - (1.0 - per_attempt) ** max(attempts, 1)
 
 
+def model_benign_response(zone: str, nameserver: PoolNTPNameserver,
+                          resolver: RecursiveResolver, record_count: int,
+                          benign_ttl: int, zone_key: Optional[str]) -> DNSMessage:
+    """The attacker's off-path model of the benign response (shape only).
+
+    Only the shape matters (record count and fixed A-record encoding); the
+    attacker cannot observe which concrete addresses the nameserver rotates
+    into the real answer.  Deployed hardenings are *observable* shape too —
+    an attacker probing the resolver/zone sees cookies and signature
+    records on the wire — so the model mirrors their byte layout with
+    placeholder values: the real cookie sits in the genuine first fragment,
+    and the forged signature value is simply wrong (the attacker holds no
+    zone key).  Shared by the fragmentation and downgrade scenarios so the
+    two rows model the same attacker.
+    """
+    addresses = nameserver.pool_servers[:record_count]
+    answers = [a_record(zone, address, benign_ttl) for address in addresses]
+    if zone_key is not None:
+        answers.append(signature_record("attacker-forged-key", zone, answers))
+    message = DNSMessage.query(0, zone).make_response(answers)
+    if any(isinstance(defense, DNSCookies) for defense in resolver.defenses):
+        message = replace(message, cookie=0)
+    return message
+
+
 @dataclass
 class FragPoisoningConfig:
     """Configuration of the standalone defragmentation-poisoning scenario."""
@@ -328,24 +353,13 @@ class FragPoisoningScenario:
     def expected_response(self) -> DNSMessage:
         """The attacker's off-path model of the benign response.
 
-        Only the shape matters (record count and fixed A-record encoding);
-        the attacker cannot observe which concrete addresses the nameserver
-        rotates into the real answer.  Deployed hardenings are *observable*
-        shape too — an attacker probing the resolver/zone sees cookies and
-        signature records on the wire — so the model mirrors their byte
-        layout with placeholder values: the real cookie sits in the genuine
-        first fragment, and the forged signature value is simply wrong
-        (the attacker holds no zone key).
+        See :func:`model_benign_response` — shape is public knowledge,
+        concrete addresses are not.
         """
-        addresses = self.nameserver.pool_servers[: self.config.records_per_response]
-        answers = [a_record(self.config.zone, address, self.config.benign_ttl)
-                   for address in addresses]
-        if self.testbed.config.zone_key is not None:
-            answers.append(signature_record("attacker-forged-key", self.config.zone, answers))
-        message = DNSMessage.query(0, self.config.zone).make_response(answers)
-        if any(isinstance(defense, DNSCookies) for defense in self.resolver.defenses):
-            message = replace(message, cookie=0)
-        return message
+        return model_benign_response(
+            self.config.zone, self.nameserver, self.resolver,
+            self.config.records_per_response, self.config.benign_ttl,
+            self.testbed.config.zone_key)
 
     def run(self) -> FragPoisoningResult:
         report = self.poisoner.plant_fragments(self.expected_response(),

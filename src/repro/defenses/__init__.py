@@ -31,6 +31,11 @@ The built-in defenses span both protocol layers:
 ``ttl_discard``           §V mitigation 2: discard high-TTL responses (pool)
 ``multi_vantage``         cross-check responses/pool/samples against vantage
                           observations of the zone profile and true time
+``encrypted_transport``   strict DNS-over-TLS upstream (fail closed)
+``encrypted_transport_opportunistic``
+                          DoT with plaintext fallback (downgradeable)
+``encrypted_transport_doh``
+                          strict DNS-over-HTTPS upstream
 ========================  =====================================================
 """
 
@@ -59,6 +64,11 @@ from .pool import (
 )
 from .registry import available_defenses, build_defense, register_defense
 from .stack import DefenseSpec, DefenseStack
+from .transport import (
+    EncryptedTransport,
+    EncryptedTransportDoH,
+    OpportunisticEncryptedTransport,
+)
 
 __all__ = [
     "HIGH_TTL_REASON",
@@ -86,4 +96,7 @@ __all__ = [
     "register_defense",
     "DefenseSpec",
     "DefenseStack",
+    "EncryptedTransport",
+    "EncryptedTransportDoH",
+    "OpportunisticEncryptedTransport",
 ]

@@ -16,6 +16,7 @@ pool.ntp.org behaviour that matters to the reproduction:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from ..netsim.network import Host, Network
@@ -36,7 +37,8 @@ class AuthoritativeNameserver(Host):
 
     def __init__(self, network: Network, address: str, zone: Dict[str, List[str]],
                  ttl: int = 300, name: Optional[str] = None, dnssec: bool = False,
-                 zone_key: Optional[str] = None) -> None:
+                 zone_key: Optional[str] = None,
+                 udp_payload_limit: Optional[int] = None) -> None:
         super().__init__(network, address, name=name or f"ns-{address}")
         self.zone = {normalise_name(owner): list(addresses) for owner, addresses in zone.items()}
         self.ttl = ttl
@@ -44,8 +46,16 @@ class AuthoritativeNameserver(Host):
         #: When set, every answer RRset is signed (appended signature record);
         #: provisioned by the ``response_signing`` defense via the testbed.
         self.zone_key = zone_key
+        #: Largest UDP response payload this server sends (``None`` = no
+        #: limit).  Responses that would exceed it go out *truncated* —
+        #: empty answer section, TC=1 — telling the resolver to retry over a
+        #: stream transport.  Stream (TCP/DoT/DoH) responses never truncate.
+        self.udp_payload_limit = udp_payload_limit
+        #: Stream listeners, when attached (see ``repro.dns.transport``).
+        self.stream_transport = None
         self.queries_received = 0
         self.responses_sent = 0
+        self.truncated_responses = 0
 
     # -- zone management -----------------------------------------------------
     def add_records(self, owner: str, addresses: Sequence[str]) -> None:
@@ -59,6 +69,24 @@ class AuthoritativeNameserver(Host):
         """Which addresses to include in a response (all of them, by default)."""
         return self.records_for(owner)
 
+    def answer_query(self, query: DNSMessage) -> DNSMessage:
+        """Build the authoritative response to one query (any transport).
+
+        ``make_response`` echoes the query's transaction id, question case
+        pattern and cookie, so hardening defenses validate identically over
+        UDP and over the stream transports.
+        """
+        addresses = self.select_addresses(query.question.name)
+        if addresses and query.question.qtype == RecordType.A:
+            answers = [a_record(query.question.name, address, self.ttl) for address in addresses]
+            if self.zone_key is not None:
+                # The signature travels at the end of the answer section —
+                # in the trailing fragment of a fragmented response, exactly
+                # where the defragmentation attacker splices.
+                answers.append(signature_record(self.zone_key, query.question.name, answers))
+            return query.make_response(answers)
+        return query.make_response([], rcode=ResponseCode.NXDOMAIN)
+
     def handle_datagram(self, datagram: UDPDatagram) -> None:
         if datagram.dst_port != DNS_PORT:
             return
@@ -69,17 +97,16 @@ class AuthoritativeNameserver(Host):
         if query.is_response:
             return
         self.queries_received += 1
-        addresses = self.select_addresses(query.question.name)
-        if addresses and query.question.qtype == RecordType.A:
-            answers = [a_record(query.question.name, address, self.ttl) for address in addresses]
-            if self.zone_key is not None:
-                # The signature travels at the end of the answer section —
-                # in the trailing fragment of a fragmented response, exactly
-                # where the defragmentation attacker splices.
-                answers.append(signature_record(self.zone_key, query.question.name, answers))
-            response = query.make_response(answers)
-        else:
-            response = query.make_response([], rcode=ResponseCode.NXDOMAIN)
+        response = self.answer_query(query)
+        if (self.udp_payload_limit is not None
+                and response.wire_size > self.udp_payload_limit):
+            # The answer does not fit the UDP budget: send a truncated stub
+            # (TC=1, empty sections) instead of an oversized datagram.  This
+            # is what keeps the fragmentation-attack size knobs meaningful —
+            # a server with a payload limit never emits the fragmenting
+            # response the splice needs.
+            response = replace(response, answers=(), authority=(), truncated=True)
+            self.truncated_responses += 1
         self.responses_sent += 1
         self.send_datagram(
             UDPDatagram(
@@ -108,11 +135,12 @@ class PoolNTPNameserver(AuthoritativeNameserver):
                  name: Optional[str] = None,
                  dnssec: bool = False,
                  min_supported_mtu: int = 1500,
-                 zone_key: Optional[str] = None) -> None:
+                 zone_key: Optional[str] = None,
+                 udp_payload_limit: Optional[int] = None) -> None:
         zone = {zone_name: list(pool_servers)}
         super().__init__(network, address, zone=zone, ttl=ttl,
                          name=name or f"pool-ns-{address}", dnssec=dnssec,
-                         zone_key=zone_key)
+                         zone_key=zone_key, udp_payload_limit=udp_payload_limit)
         self.zone_name = normalise_name(zone_name)
         self.pool_servers = list(pool_servers)
         self.records_per_response = records_per_response

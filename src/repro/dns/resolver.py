@@ -15,6 +15,12 @@ The resolver is also deliberately *shared*: the paper notes that resolvers
 are typically shared by many systems, which lets the attacker trigger the DNS
 query and run the poisoning race via a third-party protocol (SMTP, open
 resolvers) independent of the Chronos client's own schedule.
+
+Upstream queries travel over plaintext UDP unless a
+:class:`~repro.dns.transport.ResolverUpstreamTransport` is attached (by the
+``encrypted_transport`` defense, or lazily for the RFC 7766 retry of a
+TC-truncated response) — truncated responses are never cached and never
+answer a query on their own.
 """
 
 from __future__ import annotations
@@ -51,6 +57,13 @@ class PendingUpstreamQuery:
     timeout_handle: object = None
     #: The defense-stack context carrying per-query verification state.
     context: Optional[QueryContext] = None
+    #: Whether a truncated UDP response already triggered the one-shot
+    #: stream retry (RFC 7766 fallback) for this query.
+    stream_retry: bool = False
+    #: How the query most recently left the resolver: ``"udp"`` or
+    #: ``"stream"``.  A query on a stream transport accepts no datagram
+    #: answers — the check that keeps strict encrypted policies strict.
+    sent_via: str = "udp"
 
 
 @dataclass
@@ -102,10 +115,15 @@ class RecursiveResolver(Host):
         self.defenses = DefenseStack([*default_resolver_defenses(self.policy), *extra])
         self._pending: Dict[Tuple[int, str], PendingUpstreamQuery] = {}
         self._next_txid = 1
+        #: Stream/encrypted upstream transport manager; ``None`` until the
+        #: first truncated response (lazy plain-TCP fallback) or until the
+        #: ``encrypted_transport`` defense attaches a policy-bearing one.
+        self.upstream_transport = None
         self.queries_answered_from_cache = 0
         self.queries_forwarded = 0
         self.responses_rejected = 0
         self.poisoned_responses_accepted = 0
+        self.truncated_responses = 0
         self.timeouts = 0
 
     # -- helpers ---------------------------------------------------------------
@@ -115,9 +133,8 @@ class RecursiveResolver(Host):
         best: Optional[str] = None
         best_len = -1
         for zone, ns_address in self.nameserver_map.items():
-            if qname == zone or qname.endswith("." + zone):
-                if len(zone) > best_len:
-                    best, best_len = ns_address, len(zone)
+            if (qname == zone or qname.endswith("." + zone)) and len(zone) > best_len:
+                best, best_len = ns_address, len(zone)
         return best
 
     def _allocate_txid(self) -> int:
@@ -137,6 +154,23 @@ class RecursiveResolver(Host):
         self._next_txid = (self._next_txid + 1) & 0xFFFF
         return txid
 
+    def use_upstream_transport(self, transport) -> None:
+        """Attach a :class:`~repro.dns.transport.ResolverUpstreamTransport`.
+
+        Called by the ``encrypted_transport`` defense's ``attach_testbed``
+        hook; with no attached transport the resolver behaves exactly as the
+        datagram-only resolver it always was.
+        """
+        self.upstream_transport = transport
+
+    def _stream_transport(self):
+        """The upstream transport, created lazily for the TC-bit retry."""
+        if self.upstream_transport is None:
+            from .transport import ResolverUpstreamTransport
+
+            self.upstream_transport = ResolverUpstreamTransport(self)
+        return self.upstream_transport
+
     # -- datagram dispatch --------------------------------------------------------
     def handle_datagram(self, datagram: UDPDatagram) -> None:
         try:
@@ -150,11 +184,11 @@ class RecursiveResolver(Host):
 
     # -- client side -------------------------------------------------------------
     def _handle_client_query(self, datagram: UDPDatagram, query: DNSMessage) -> None:
-        if self.allowed_clients is not None and not self.policy.open_resolver:
-            if datagram.src_ip not in self.allowed_clients:
-                response = query.make_response([], rcode=ResponseCode.REFUSED)
-                self._reply_to_client(datagram.src_ip, datagram.src_port, response)
-                return
+        if (self.allowed_clients is not None and not self.policy.open_resolver
+                and datagram.src_ip not in self.allowed_clients):
+            response = query.make_response([], rcode=ResponseCode.REFUSED)
+            self._reply_to_client(datagram.src_ip, datagram.src_port, response)
+            return
         cached = self.cache.lookup(query.question.name, query.question.qtype,
                                    self.network.simulator.now)
         if cached is not None:
@@ -216,13 +250,21 @@ class RecursiveResolver(Host):
         pending.timeout_handle = self.network.simulator.schedule(
             self.policy.query_timeout, lambda k=key: self._on_timeout(k))
         self.queries_forwarded += 1
+        if self.upstream_transport is not None:
+            self.upstream_transport.dispatch(key, pending)
+        else:
+            self._send_upstream_datagram(pending)
+
+    def _send_upstream_datagram(self, pending: PendingUpstreamQuery) -> None:
+        """The classic plaintext-UDP upstream query (the attack surface)."""
+        pending.sent_via = "udp"
         self.send_datagram(
             UDPDatagram(
                 src_ip=self.address,
-                dst_ip=nameserver,
-                src_port=context.source_port,
+                dst_ip=pending.nameserver_address,
+                src_port=pending.source_port,
                 dst_port=DNS_PORT,
-                payload=context.query.encode(),
+                payload=pending.upstream_query.encode(),
             )
         )
 
@@ -235,11 +277,40 @@ class RecursiveResolver(Host):
             response = pending.client_query.make_response([], rcode=ResponseCode.SERVFAIL)
             self._reply_to_client(pending.client_address, pending.client_port, response)
 
-    def _handle_upstream_response(self, datagram: UDPDatagram, response: DNSMessage) -> None:
+    def _handle_upstream_response(self, datagram: UDPDatagram, response: DNSMessage,
+                                  via: str = "udp") -> None:
         key = (response.transaction_id, normalise_name(response.question.name))
         pending = self._pending.get(key)
         if pending is None:
             self.responses_rejected += 1
+            return
+        if via == "udp" and pending.sent_via == "stream":
+            # The query is out on an (authenticated) stream transport: no
+            # datagram can legitimately answer it.  Without this check a
+            # spoofed UDP response would bypass the strict encrypted policy
+            # entirely — the resolver would be DoT on the wire and
+            # poisonable by datagram.
+            self.responses_rejected += 1
+            return
+        if response.truncated and via == "udp":
+            # TC=1: the response is an incomplete stub, never answer data.
+            # It is not cached and does not resolve the query; instead the
+            # resolver re-asks once over the stream transport (RFC 7766).
+            # If that retry cannot complete either, the query runs into its
+            # own timeout — a truncated response alone never produces an
+            # answer.  The stub must still prove the classic provenance
+            # (source address + destination port) before it is honoured:
+            # otherwise a blind spoofer could burn the one-shot retry — or
+            # force plaintext TCP — knowing only the 16-bit transaction id.
+            if ((self.policy.check_source_address
+                 and datagram.src_ip != pending.nameserver_address)
+                    or datagram.dst_port != pending.source_port):
+                self.responses_rejected += 1
+                return
+            self.truncated_responses += 1
+            if not pending.stream_retry:
+                pending.stream_retry = True
+                self._stream_transport().retry_over_tcp(key, pending)
             return
         context = ResponseContext(
             response=response,

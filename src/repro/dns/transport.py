@@ -1,0 +1,361 @@
+"""Encrypted and stream DNS transports: DNS-over-TCP, DoT and DoH.
+
+The paper positions encrypted transports as the countermeasure *class* that
+removes both off-path poisoning vectors — a blind spoofer cannot inject into
+a sequence-checked stream, and a hijacker who diverts the packets cannot
+complete a TLS handshake for an identity it holds no certificate for — at
+the cost of a changed trust model.  This module provides both halves:
+
+* **server side** — :class:`DNSServerTransport` attaches stream listeners to
+  an :class:`~repro.dns.nameserver.AuthoritativeNameserver`: plain
+  DNS-over-TCP on 53 (RFC 7766, the TC-bit fallback target), DoT on 853
+  (RFC 7858) and DoH on 443 (RFC 8484, modelled as ``POST /dns-query`` over
+  the secure channel).  Stream responses are never truncated — that is the
+  entire point of the TC bit.
+* **resolver side** — :class:`ResolverUpstreamTransport` manages how a
+  recursive resolver reaches its upstream nameservers: plain UDP (the
+  default, and the paper's attack surface), a one-shot plain-TCP retry when
+  a UDP response comes back truncated, or an
+  :class:`EncryptedTransportPolicy` that routes queries over DoT/DoH —
+  *strict* (never fall back; resolution fails rather than degrade) or
+  *opportunistic* (fall back to plaintext UDP when the encrypted transport
+  fails, remembering the failure for ``holddown`` seconds).  Opportunistic
+  mode is deliberately exploitable: an attacker who can make the encrypted
+  connection fail — a spoofed-source SYN flood on the nameserver's
+  listeners, or a hijack that blackholes port 853 — pushes the resolver
+  back onto UDP and then runs the classic poisoning race.  See
+  :mod:`repro.attacks.downgrade`.
+
+Framing is the real wire format: stream DNS messages carry the RFC 1035
+two-byte length prefix; DoH wraps the same wire bytes in a minimal HTTP/1.1
+exchange.  One connection serves one query in this model (no pipelining):
+the handshake cost per query is exactly what
+``benchmarks/bench_encrypted_transport.py`` measures against the UDP
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..netsim.packets import UDPDatagram
+from ..netsim.transport import (
+    Connection,
+    PlainStreamSocket,
+    SecureChannel,
+    StreamSocket,
+)
+from .message import DNSMessage
+from .nameserver import DNS_PORT, AuthoritativeNameserver
+
+if TYPE_CHECKING:
+    from .resolver import PendingUpstreamQuery, RecursiveResolver
+
+#: RFC 7858: DNS-over-TLS port.
+DOT_PORT = 853
+#: RFC 8484: DNS-over-HTTPS port.
+DOH_PORT = 443
+
+#: Transport names accepted by :class:`DNSServerTransport` and the testbed.
+STREAM_TRANSPORTS = ("tcp", "dot", "doh")
+
+
+def frame_dns(wire: bytes) -> bytes:
+    """Prefix a DNS message with the RFC 1035 two-byte length."""
+    return len(wire).to_bytes(2, "big") + wire
+
+
+class DNSFrameDecoder:
+    """Reassembles length-prefixed DNS messages from stream chunks."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        self._buffer += data
+        messages: List[bytes] = []
+        while len(self._buffer) >= 2:
+            length = int.from_bytes(self._buffer[:2], "big")
+            if len(self._buffer) < 2 + length:
+                break
+            messages.append(bytes(self._buffer[2:2 + length]))
+            del self._buffer[:2 + length]
+        return messages
+
+
+def doh_request(wire: bytes) -> bytes:
+    """A minimal RFC 8484 POST carrying one DNS message."""
+    header = (f"POST /dns-query HTTP/1.1\r\n"
+              f"content-type: application/dns-message\r\n"
+              f"content-length: {len(wire)}\r\n\r\n")
+    return header.encode("ascii") + wire
+
+
+def doh_response(wire: bytes) -> bytes:
+    header = (f"HTTP/1.1 200 OK\r\n"
+              f"content-type: application/dns-message\r\n"
+              f"content-length: {len(wire)}\r\n\r\n")
+    return header.encode("ascii") + wire
+
+
+class DoHMessageDecoder:
+    """Extracts DNS message bodies from a stream of HTTP/1.1 messages."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        self._buffer += data
+        messages: List[bytes] = []
+        while True:
+            head_end = self._buffer.find(b"\r\n\r\n")
+            if head_end < 0:
+                break
+            head = bytes(self._buffer[:head_end]).decode("ascii", errors="replace")
+            length = 0
+            for line in head.split("\r\n")[1:]:
+                name, _, value = line.partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            body_start = head_end + 4
+            if len(self._buffer) < body_start + length:
+                break
+            messages.append(bytes(self._buffer[body_start:body_start + length]))
+            del self._buffer[:body_start + length]
+        return messages
+
+
+# -- server side ---------------------------------------------------------------
+
+
+class DNSServerTransport:
+    """Stream listeners (TCP 53 / DoT 853 / DoH 443) for a nameserver.
+
+    Each accepted connection gets its own framing decoder; every decoded
+    query is answered through the nameserver's ``answer_query`` — the same
+    logic as UDP, so cookies, 0x20 case patterns and signatures are echoed
+    identically — and stream responses are never truncated.
+    """
+
+    def __init__(self, nameserver: AuthoritativeNameserver,
+                 transports: Tuple[str, ...] = ("tcp",),
+                 cert_key: Optional[str] = None,
+                 identity: Optional[str] = None,
+                 backlog: Optional[int] = None) -> None:
+        unknown = set(transports) - set(STREAM_TRANSPORTS)
+        if unknown:
+            raise ValueError(f"unknown stream transport(s): {sorted(unknown)}; "
+                             f"supported: {STREAM_TRANSPORTS}")
+        if ("dot" in transports or "doh" in transports) and cert_key is None:
+            raise ValueError("encrypted transports need a certificate key")
+        self.nameserver = nameserver
+        self.transports = tuple(transports)
+        self.cert_key = cert_key
+        self.identity = identity
+        self.queries_answered: Dict[str, int] = {name: 0 for name in transports}
+        kwargs = {} if backlog is None else {"backlog": backlog}
+        stack = nameserver.tcp
+        if "tcp" in transports:
+            self.tcp_listener = stack.listen(
+                DNS_PORT, lambda conn: self._serve_plain(conn, "tcp"), **kwargs)
+        if "dot" in transports:
+            self.dot_listener = stack.listen(
+                DOT_PORT, lambda conn: self._serve_secure(conn, "dot"), **kwargs)
+        if "doh" in transports:
+            self.doh_listener = stack.listen(
+                DOH_PORT, lambda conn: self._serve_secure(conn, "doh"), **kwargs)
+        nameserver.stream_transport = self
+
+    def _rng(self):
+        return self.nameserver.network.simulator.rng
+
+    def _serve_plain(self, connection: Connection, label: str) -> None:
+        self._attach(PlainStreamSocket(connection), label)
+
+    def _serve_secure(self, connection: Connection, label: str) -> None:
+        channel = SecureChannel.server(
+            connection, self._rng(),
+            identity=self.identity or self.nameserver.name,
+            cert_key=self.cert_key)
+        self._attach(channel, label)
+
+    def _attach(self, socket: StreamSocket, label: str) -> None:
+        decoder = DoHMessageDecoder() if label == "doh" else DNSFrameDecoder()
+
+        def on_data(data: bytes, socket=socket, decoder=decoder, label=label):
+            for wire in decoder.feed(data):
+                try:
+                    query = DNSMessage.decode(wire)
+                except Exception:
+                    continue
+                if query.is_response:
+                    continue
+                self.nameserver.queries_received += 1
+                response = self.nameserver.answer_query(query)
+                self.nameserver.responses_sent += 1
+                self.queries_answered[label] += 1
+                encoded = response.encode()
+                socket.send(doh_response(encoded) if label == "doh"
+                            else frame_dns(encoded))
+
+        socket.on_data = on_data
+
+
+# -- resolver side -------------------------------------------------------------
+
+
+class EncryptedTransportPolicy:
+    """How a resolver uses encrypted upstream transports.
+
+    ``strict`` resolvers never speak plaintext: when the encrypted transport
+    fails, the query fails (and the off-path attacker gets nothing).
+    Opportunistic resolvers prefer encryption but fall back to plaintext UDP
+    on failure, remembering the failed nameserver for ``holddown`` seconds —
+    the RFC 7435 trade-off whose downgrade-ability
+    :mod:`repro.attacks.downgrade` makes measurable.
+    """
+
+    def __init__(self, protocol: str = "dot", strict: bool = True,
+                 connect_timeout: float = 1.0, holddown: float = 600.0) -> None:
+        if protocol not in ("dot", "doh"):
+            raise ValueError(f"unknown encrypted protocol {protocol!r}")
+        self.protocol = protocol
+        self.strict = strict
+        self.connect_timeout = connect_timeout
+        self.holddown = holddown
+
+    @property
+    def port(self) -> int:
+        return DOT_PORT if self.protocol == "dot" else DOH_PORT
+
+
+class ResolverUpstreamTransport:
+    """Per-resolver manager for stream-based upstream queries.
+
+    Every resolver owns one (created lazily for the TC-bit retry); the
+    ``encrypted_transport`` defense attaches one with an
+    :class:`EncryptedTransportPolicy` so upstream queries travel over
+    DoT/DoH instead of UDP.
+    """
+
+    def __init__(self, resolver: "RecursiveResolver",
+                 policy: Optional[EncryptedTransportPolicy] = None,
+                 trust_anchor: Optional[str] = None,
+                 expected_identity: Optional[str] = None) -> None:
+        self.resolver = resolver
+        self.policy = policy
+        self.trust_anchor = trust_anchor
+        self.expected_identity = expected_identity
+        #: nameserver address -> simulated time until which the resolver
+        #: speaks plaintext to it (opportunistic downgrade hold-down).
+        self._plaintext_until: Dict[str, float] = {}
+        self.encrypted_queries = 0
+        self.encrypted_failures = 0
+        #: Queries an opportunistic policy pushed back to plaintext UDP.
+        self.downgraded_queries = 0
+        #: Plain-TCP retries triggered by truncated UDP responses.
+        self.tcp_retries = 0
+
+    # -- helpers ---------------------------------------------------------------
+    @property
+    def _simulator(self):
+        return self.resolver.network.simulator
+
+    def uses_encrypted(self, nameserver_address: str) -> bool:
+        """Whether the next query to this nameserver goes over DoT/DoH."""
+        if self.policy is None:
+            return False
+        if self.policy.strict:
+            return True
+        return self._plaintext_until.get(nameserver_address, 0.0) <= self._simulator.now
+
+    # -- dispatch ----------------------------------------------------------------
+    def dispatch(self, key: Tuple[int, str], pending: "PendingUpstreamQuery") -> None:
+        """Send one upstream query per the policy (called by the resolver)."""
+        if self.uses_encrypted(pending.nameserver_address):
+            self._send_encrypted(key, pending)
+            return
+        if self.policy is not None:
+            # An opportunistic policy in its hold-down window: plaintext.
+            self.downgraded_queries += 1
+        self.resolver._send_upstream_datagram(pending)
+
+    def _send_encrypted(self, key: Tuple[int, str], pending: "PendingUpstreamQuery") -> None:
+        policy = self.policy
+        self.encrypted_queries += 1
+        pending.sent_via = "stream"
+        connection = self.resolver.tcp.connect(
+            pending.nameserver_address, policy.port, timeout=policy.connect_timeout)
+        channel = SecureChannel.client(
+            connection, self._simulator.rng,
+            expected_identity=self.expected_identity or "",
+            trust_anchor=self.trust_anchor or "")
+        framing = policy.protocol
+        wire = pending.upstream_query.encode()
+        request = doh_request(wire) if framing == "doh" else frame_dns(wire)
+        channel.on_ready = lambda: channel.send(request)
+        channel.on_data = self._receiver(channel, pending, framing)
+        channel.on_failure = lambda reason: self._on_encrypted_failure(key, pending, reason)
+
+    def _on_encrypted_failure(self, key: Tuple[int, str],
+                              pending: "PendingUpstreamQuery", reason: str) -> None:
+        self.encrypted_failures += 1
+        if key not in self.resolver._pending:
+            return  # already answered or timed out
+        if self.policy.strict:
+            # Strict: fail closed.  The pending query runs into the
+            # resolver's timeout and the client sees SERVFAIL — resolution
+            # degrades to *unavailable*, never to *unauthenticated*.
+            return
+        # Opportunistic: fall back to plaintext for this query and remember
+        # the failure.  This is the downgrade the attack scenario exploits.
+        self._plaintext_until[pending.nameserver_address] = (
+            self._simulator.now + self.policy.holddown)
+        self.downgraded_queries += 1
+        self.resolver._send_upstream_datagram(pending)
+
+    # -- TC-bit fallback -----------------------------------------------------------
+    def retry_over_tcp(self, key: Tuple[int, str], pending: "PendingUpstreamQuery") -> None:
+        """Re-ask one truncated query over plain DNS-over-TCP (RFC 7766)."""
+        self.tcp_retries += 1
+        pending.sent_via = "stream"
+        connection = self.resolver.tcp.connect(pending.nameserver_address, DNS_PORT)
+        socket = PlainStreamSocket(connection)
+        wire = pending.upstream_query.encode()
+        socket.on_ready = lambda: socket.send(frame_dns(wire))
+        socket.on_data = self._receiver(socket, pending, "tcp")
+        # On failure (no TCP listener, timeout): the query stays pending and
+        # the resolver's own timeout answers SERVFAIL — a truncated response
+        # is never accepted, with or without a working fallback path.
+
+    # -- response delivery -----------------------------------------------------------
+    def _receiver(self, socket: StreamSocket, pending: "PendingUpstreamQuery",
+                  framing: str) -> Callable[[bytes], None]:
+        decoder = DoHMessageDecoder() if framing == "doh" else DNSFrameDecoder()
+
+        def on_data(data: bytes) -> None:
+            for wire in decoder.feed(data):
+                try:
+                    response = DNSMessage.decode(wire)
+                except Exception:
+                    continue
+                socket.close()
+                self._deliver(pending, response, wire)
+                return
+
+        return on_data
+
+    def _deliver(self, pending: "PendingUpstreamQuery", response: DNSMessage,
+                 wire: bytes) -> None:
+        # The stream endpoint *is* the provenance: the connection was opened
+        # to the nameserver's address and (for DoT/DoH) authenticated by the
+        # pinned certificate.  The synthetic datagram presents that
+        # provenance to the defense stack so response matching holds.
+        datagram = UDPDatagram(
+            src_ip=pending.nameserver_address,
+            dst_ip=self.resolver.address,
+            src_port=DNS_PORT,
+            dst_port=pending.source_port,
+            payload=wire,
+        )
+        self.resolver._handle_upstream_response(datagram, response, via="stream")

@@ -41,6 +41,8 @@ from .cache import (
 from .matrix import (
     DEFAULT_ATTACKS,
     DEFAULT_STACKS,
+    LEGACY_ATTACKS,
+    LEGACY_STACKS,
     AttackSpec,
     DefenseMatrixResult,
     DefenseStackSpec,
@@ -80,6 +82,8 @@ __all__ = [
     "task_key",
     "DEFAULT_ATTACKS",
     "DEFAULT_STACKS",
+    "LEGACY_ATTACKS",
+    "LEGACY_STACKS",
     "AttackSpec",
     "DefenseMatrixResult",
     "DefenseStackSpec",

@@ -31,6 +31,7 @@ last-line-wins.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -260,10 +261,8 @@ class RunCache:
     def clear(self) -> None:
         """Remove every shard file (the directory itself is kept)."""
         for shard in list(self._shard_names_on_disk()):
-            try:
+            with contextlib.suppress(OSError):
                 self._shard_path(shard).unlink()
-            except OSError:
-                pass
         self._shards.clear()
 
     # -- introspection -------------------------------------------------------

@@ -23,6 +23,7 @@ from typing import Any, Dict, Mapping
 from ..attacks.baseline_scenario import BaselineAttackConfig, TraditionalClientAttackScenario
 from ..attacks.bgp_hijack import BGPHijackConfig, BGPHijackScenario
 from ..attacks.chronos_pool_attack import ChronosPoolAttackScenario, PoolAttackConfig
+from ..attacks.downgrade import DowngradeConfig, DowngradeScenario
 from ..attacks.frag_poisoning import FragPoisoningConfig, FragPoisoningScenario
 from ..core.pool_generation import PoolGenerationPolicy
 from ..defenses.stack import DefenseStack
@@ -242,6 +243,62 @@ class FragPoisoningExperiment:
             "planted_fragments": result.planted_fragments,
             "poisoned_records_cached": result.poisoned_records_cached,
             "records_cached": result.records_cached,
+        }
+
+
+@register_scenario
+class DowngradeAttackExperiment:
+    """The encrypted-transport downgrade vector: force plaintext, then poison."""
+
+    name = "downgrade"
+    description = ("SYN-flood downgrade of opportunistic encrypted DNS "
+                   "followed by the classic fragmentation poisoning race")
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "benign_server_count": 60,
+            "records_per_response": 40,
+            "nameserver_min_mtu": 548,
+            "syns_per_port": None,
+            "flood_bursts": 3,
+            "flood_interval": 5.0,
+            "lookup_time": 1.0,
+            "ipid_window": 16,
+            "checksum_oracle": True,
+            "attacker_record_count": None,
+            "malicious_ttl": 2 * 86400,
+            "defenses": (),
+        }
+
+    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+        p = merge_params(self.default_params(), params)
+        config = DowngradeConfig(
+            seed=seed,
+            benign_server_count=p["benign_server_count"],
+            records_per_response=p["records_per_response"],
+            nameserver_min_mtu=p["nameserver_min_mtu"],
+            syns_per_port=p["syns_per_port"],
+            flood_bursts=p["flood_bursts"],
+            flood_interval=p["flood_interval"],
+            lookup_time=p["lookup_time"],
+            ipid_window=p["ipid_window"],
+            checksum_oracle=p["checksum_oracle"],
+            attacker_record_count=p["attacker_record_count"],
+            malicious_ttl=p["malicious_ttl"],
+            defenses=tuple(p["defenses"]),
+        )
+        scenario = DowngradeScenario(config)
+        result = scenario.run()
+        return {
+            "attack_succeeded": result.attack_succeeded,
+            "defense_rejections": defense_rejections(scenario.resolver.defenses),
+            "cache_poisoned": result.cache_poisoned,
+            "downgraded": result.downgraded,
+            "encrypted_failures": result.encrypted_failures,
+            "syns_sent": result.syns_sent,
+            "syns_dropped": result.syns_dropped,
+            "planted_fragments": result.planted_fragments,
+            "poisoned_records_cached": result.poisoned_records_cached,
         }
 
 

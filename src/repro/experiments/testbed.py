@@ -18,7 +18,7 @@ builds from the same config are identical event-for-event.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
 
 from ..defenses.stack import DefenseSpec, DefenseStack
 from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE, PoolNTPNameserver
@@ -66,6 +66,16 @@ class TestbedConfig:
     #: the path MTU, enabling the fragmentation poisoning vector).
     nameserver_min_mtu: int = DEFAULT_MTU
     nameserver_dnssec: bool = False
+    #: Largest UDP response payload the nameserver sends; anything bigger
+    #: goes out truncated with TC=1 (``None`` = no limit, the legacy
+    #: behaviour every fragmentation experiment relies on).
+    nameserver_udp_payload_limit: Optional[int] = None
+    #: Stream transports the nameserver serves ("tcp", "dot", "doh");
+    #: normally provisioned by the ``encrypted_transport`` defense.
+    nameserver_transports: Tuple[str, ...] = ()
+    #: Certificate key for the encrypted transports (the zone's TLS
+    #: identity); provisioned by the ``encrypted_transport`` defense.
+    transport_cert_key: Optional[str] = None
 
     # -- victim-side resolver ------------------------------------------------
     resolver_address: str = "192.0.2.1"
@@ -158,9 +168,22 @@ class TestbedBuilder:
             dnssec=cfg.nameserver_dnssec,
             min_supported_mtu=cfg.nameserver_min_mtu,
             zone_key=cfg.zone_key,
+            udp_payload_limit=cfg.nameserver_udp_payload_limit,
         )
         if cfg.nameserver_min_mtu < DEFAULT_MTU:
             network.set_path_mtu(nameserver.address, cfg.nameserver_min_mtu)
+        if cfg.nameserver_transports:
+            # Imported lazily: stream transports only exist in worlds that
+            # asked for them (the encrypted_transport defense, TC fallback
+            # experiments), keeping datagram-only builds untouched.
+            from ..dns.transport import DNSServerTransport
+
+            DNSServerTransport(
+                nameserver,
+                transports=cfg.nameserver_transports,
+                cert_key=cfg.transport_cert_key,
+                identity=cfg.zone,
+            )
         resolver = RecursiveResolver(
             network,
             cfg.resolver_address,

@@ -23,12 +23,15 @@ needs.  On-path attackers are modelled with taps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .bgp import RoutingTable
 from .fragmentation import OverlapPolicy, ReassemblyBuffer, fragment_datagram
-from .packets import DEFAULT_MTU, IPPacket, UDPDatagram
+from .packets import DEFAULT_MTU, PROTO_TCP, IPPacket, UDPDatagram
 from .simulator import Simulator
+
+if TYPE_CHECKING:  # imported lazily at runtime; see Host.tcp
+    from .transport import TCPStack
 
 
 class NetworkError(RuntimeError):
@@ -69,7 +72,24 @@ class Host:
         #: spoofed fragment; application layers (the DNS resolver) consult it
         #: to tag cache entries for experiment reporting.
         self.last_datagram_poisoned = False
+        #: Lazily-created TCP endpoint table (see :attr:`tcp`); ``None`` for
+        #: the (overwhelmingly common) datagram-only hosts.
+        self._tcp: Optional["TCPStack"] = None
         network.register(self)
+
+    @property
+    def tcp(self) -> "TCPStack":
+        """This host's TCP endpoint table, created on first use.
+
+        Datagram-only hosts never pay for it; hosts that listen or connect
+        (encrypted-transport nameservers and resolvers) share one stack for
+        all their connections.
+        """
+        if self._tcp is None:
+            from .transport import TCPStack
+
+            self._tcp = TCPStack(self)
+        return self._tcp
 
     # -- sending -----------------------------------------------------------
     def send_datagram(self, datagram: UDPDatagram) -> None:
@@ -79,6 +99,13 @@ class Host:
     # -- receiving ---------------------------------------------------------
     def deliver_packet(self, packet: IPPacket) -> None:
         """Called by the network for every IP packet addressed to this host."""
+        if packet.protocol == PROTO_TCP:
+            # Stream transports bypass the defragmentation path entirely:
+            # segments are MSS-sized and never fragment.  Hosts with no TCP
+            # stack drop segments silently (no RST — see netsim.transport).
+            if self._tcp is not None:
+                self._tcp.handle_packet(packet)
+            return
         result = self.reassembly.add_fragment(packet, self.network.simulator.now)
         if result.datagram is None:
             return
@@ -155,6 +182,11 @@ class Network:
     def link_for(self, src: str, dst: str) -> LinkProperties:
         return self._links.get((src, dst), self.default_link)
 
+    def effective_mtu(self, src: str, dst: str) -> int:
+        """The MTU governing ``src``'s packets towards ``dst``: the smaller
+        of the per-source path MTU and the (src, dst) link MTU."""
+        return min(self._path_mtu.get(src, DEFAULT_MTU), self.link_for(src, dst).mtu)
+
     # -- sending -----------------------------------------------------------
     def next_ip_id(self, src: str) -> int:
         """Sequential per-source IP-ID counter.
@@ -170,11 +202,20 @@ class Network:
     def send_datagram(self, datagram: UDPDatagram) -> None:
         """Fragment (if needed) and deliver a UDP datagram."""
         datagram = datagram.with_valid_checksum()
-        mtu = min(self._path_mtu.get(datagram.src_ip, DEFAULT_MTU),
-                  self.link_for(datagram.src_ip, datagram.dst_ip).mtu)
+        mtu = self.effective_mtu(datagram.src_ip, datagram.dst_ip)
         ip_id = self.next_ip_id(datagram.src_ip)
         for packet in fragment_datagram(datagram, ip_id=ip_id, mtu=mtu):
             self._transmit(packet)
+
+    def send_packet(self, packet: IPPacket) -> None:
+        """Send a fully-formed, non-UDP IP packet (TCP segments) from a host.
+
+        No fragmentation is applied: stream transports size their segments
+        to the effective MTU (see ``TCPStack.mss_for``), so a segment never
+        needs to fragment — which is itself part of why encrypted transports
+        kill the defragmentation-splice vector.
+        """
+        self._transmit(packet)
 
     def inject(self, packet: IPPacket) -> None:
         """Inject a raw IP packet with an arbitrary (spoofed) source address.

@@ -33,6 +33,7 @@ DEFAULT_MTU = 1500
 MINIMUM_IPV4_MTU = 68
 
 PROTO_UDP = 17
+PROTO_TCP = 6
 
 
 class PacketError(ValueError):
@@ -139,10 +140,9 @@ class IPPacket:
             raise PacketError(f"ip_id out of range: {self.ip_id}")
         if self.fragment_offset < 0:
             raise PacketError("negative fragment offset")
-        if self.fragment_offset % 8 and self.more_fragments is not None:
+        if self.fragment_offset % 8 != 0:
             # Offsets are carried in 8-byte units on the wire.
-            if self.fragment_offset % 8 != 0:
-                raise PacketError("fragment offset must be a multiple of 8 bytes")
+            raise PacketError("fragment offset must be a multiple of 8 bytes")
 
     @property
     def total_size(self) -> int:

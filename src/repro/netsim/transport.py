@@ -1,0 +1,782 @@
+"""Connection-oriented transports: a TCP model and a TLS-like secure channel.
+
+Everything before this module was datagrams — which is exactly why the
+paper's off-path attacks work: a single spoofed UDP response (or a spoofed
+trailing fragment) is indistinguishable from the real one.  Encrypted DNS
+transports (DoT/DoH) remove both vectors by moving resolution onto a
+*connection*: an off-path attacker who cannot observe the 32-bit initial
+sequence numbers cannot inject into the stream, and the TLS layer
+authenticates the server and hides the payload even from on-path taps.
+
+Three layers, each usable on its own:
+
+* :class:`TCPStack` / :class:`Connection` — a TCP-like reliable byte stream
+  over the existing :class:`~repro.netsim.packets.IPPacket` path: three-way
+  handshake with RNG-drawn ISNs, MSS-sized segmentation (segments never
+  IP-fragment), in-order reassembly, and rejection of out-of-window
+  segments, which is what defeats blind injection.  Listeners keep a finite
+  half-open backlog, so spoofed-source SYN floods — the one thing an
+  off-path attacker *can* still do to a connection-oriented service — are
+  faithfully modelled (the downgrade attack uses exactly this).
+* :class:`PlainStreamSocket` — the app-facing byte-stream interface.
+* :class:`SecureChannel` — a TLS 1.3-flavoured model on top: one extra
+  round trip (ClientHello / ServerHello), an ephemeral Diffie-Hellman key
+  exchange over a fixed 256-bit prime, a certificate whose *subject* is
+  pinned to an expected identity (the DNS zone) and whose signature is a
+  keyed digest in the style of :mod:`repro.defenses.hardening`'s response
+  signing (the key is secret by convention — no attacker code reads it),
+  and XOR-keystream record encryption, so application bytes on the wire are
+  ciphertext: opaque to :data:`~repro.netsim.network.Tap` observers and to
+  anything that diverts the packets.
+
+Simplifications, stated up front: there is no retransmission (experiments
+run stream transports over lossless links), no flow control, and closing is
+a single FIN with immediate teardown.  Segments addressed to no matching
+connection or listener are dropped silently rather than RST'd — real stacks
+answer RST, but silent drop both denies off-path attackers a scan oracle
+and models the BGP-hijack case, where diverted segments arrive at a host
+that does not terminate TCP for the impersonated address.
+
+Determinism: every random draw (ISNs, ephemeral ports, TLS randoms, DH
+exponents) comes from the simulator-owned RNG, so connection-oriented runs
+remain a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from .packets import IPV4_HEADER_SIZE, PROTO_TCP, IPPacket, PacketError
+
+if TYPE_CHECKING:
+    from .network import Host
+
+TCP_HEADER_SIZE = 20
+#: Fallback for hosts whose path MTU would not fit a single payload byte.
+MIN_MSS = 8
+#: Receive window in bytes; also the acceptance window for the blind-
+#: injection sequence check.
+RECEIVE_WINDOW = 65535
+#: Pending-connection (half-open) slots per listener.  A spoofed-source SYN
+#: flood fills these; genuine SYNs arriving at a full backlog are dropped,
+#: which is what makes the encrypted-transport downgrade attack possible.
+DEFAULT_BACKLOG = 16
+#: Seconds a half-open connection occupies a backlog slot.
+SYN_TIMEOUT = 10.0
+#: Default seconds before an unanswered connect attempt fails.
+CONNECT_TIMEOUT = 5.0
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_ACK = 0x10
+
+_SEQ_MOD = 1 << 32
+
+
+class TransportError(RuntimeError):
+    """Raised when a stream transport is driven in an inconsistent way."""
+
+
+@dataclass(frozen=True)
+class TCPSegment:
+    """A TCP segment; encodes to the real 20-byte header layout.
+
+    The checksum field is carried as zero — integrity at the IP layer is
+    already modelled by :class:`~repro.netsim.packets.UDPDatagram` for the
+    attacks that need it, and nothing in the reproduction tampers with TCP
+    payloads below the sequence check.
+    """
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        header = (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + (self.seq % _SEQ_MOD).to_bytes(4, "big")
+            + (self.ack % _SEQ_MOD).to_bytes(4, "big")
+            + bytes([5 << 4, self.flags & 0x3F])
+            + RECEIVE_WINDOW.to_bytes(2, "big")
+            + b"\x00\x00\x00\x00"
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TCPSegment":
+        if len(data) < TCP_HEADER_SIZE:
+            raise PacketError("truncated TCP header")
+        offset = (data[12] >> 4) * 4
+        if offset < TCP_HEADER_SIZE or offset > len(data):
+            raise PacketError("invalid TCP data offset")
+        return cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            seq=int.from_bytes(data[4:8], "big"),
+            ack=int.from_bytes(data[8:12], "big"),
+            flags=data[13] & 0x3F,
+            payload=data[offset:],
+        )
+
+    @property
+    def wire_size(self) -> int:
+        return TCP_HEADER_SIZE + len(self.payload)
+
+
+class ConnectionState(enum.Enum):
+    SYN_SENT = "syn-sent"
+    SYN_RECEIVED = "syn-received"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+
+#: (remote_ip, remote_port, local_port) — how a stack demultiplexes segments.
+ConnectionKey = Tuple[str, int, int]
+
+
+class Connection:
+    """One endpoint of a TCP-like connection.
+
+    Created by :meth:`TCPStack.connect` (client side, ``SYN_SENT``) or by a
+    :class:`Listener` answering a SYN (server side, ``SYN_RECEIVED``).
+    Callbacks — ``on_established``, ``on_data``, ``on_close``,
+    ``on_failure`` — are plain attributes; :class:`PlainStreamSocket` and
+    :class:`SecureChannel` wire them up.
+    """
+
+    def __init__(self, stack: "TCPStack", local_port: int, remote_ip: str,
+                 remote_port: int, isn: int, state: ConnectionState) -> None:
+        self.stack = stack
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.state = state
+        #: Our initial sequence number; the secret a blind injector has to
+        #: guess (matching real TCP's off-path protection).
+        self.iss = isn
+        self.snd_nxt = (isn + 1) % _SEQ_MOD
+        #: Next in-order sequence number we expect from the peer.
+        self.rcv_nxt: Optional[int] = None
+        self._out_of_order: Dict[int, bytes] = {}
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Segments that failed the sequence/ack checks — blind injections.
+        self.injections_rejected = 0
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.on_failure: Optional[Callable[[str], None]] = None
+        self._connect_timer = None
+        self.mss = stack.mss_for(remote_ip)
+
+    @property
+    def key(self) -> ConnectionKey:
+        return (self.remote_ip, self.remote_port, self.local_port)
+
+    @property
+    def established(self) -> bool:
+        return self.state is ConnectionState.ESTABLISHED
+
+    # -- sending -------------------------------------------------------------
+    def send(self, data: bytes) -> None:
+        """Send application bytes, segmented to the MSS."""
+        if self.state is not ConnectionState.ESTABLISHED:
+            raise TransportError(f"cannot send in state {self.state.value}")
+        for start in range(0, len(data), self.mss):
+            self._emit(FLAG_ACK, data[start:start + self.mss])
+
+    def _emit(self, flags: int, payload: bytes = b"") -> None:
+        seq = self.iss if flags & FLAG_SYN else self.snd_nxt
+        segment = TCPSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=seq,
+            ack=self.rcv_nxt if (flags & FLAG_ACK and self.rcv_nxt is not None) else 0,
+            flags=flags,
+            payload=payload,
+        )
+        advance = len(payload)
+        if flags & (FLAG_SYN | FLAG_FIN):
+            advance += 1
+        if not flags & FLAG_SYN:
+            self.snd_nxt = (self.snd_nxt + advance) % _SEQ_MOD
+        self.bytes_sent += len(payload)
+        self.stack.transmit(self, segment)
+
+    def close(self) -> None:
+        """Send FIN (when established) and tear the connection down."""
+        if self.state is ConnectionState.ESTABLISHED:
+            self._emit(FLAG_FIN | FLAG_ACK)
+        self._teardown(notify_close=False)
+
+    def _teardown(self, notify_close: bool) -> None:
+        if self.state is ConnectionState.CLOSED:
+            return
+        self.state = ConnectionState.CLOSED
+        if self._connect_timer is not None:
+            self._connect_timer.cancel()
+            self._connect_timer = None
+        self.stack.forget(self)
+        if notify_close and self.on_close is not None:
+            self.on_close()
+
+    def fail(self, reason: str) -> None:
+        """Abort the attempt/connection and notify the owner."""
+        callback = self.on_failure
+        self._teardown(notify_close=False)
+        if callback is not None:
+            callback(reason)
+
+    def _on_connect_timeout(self) -> None:
+        if self.state is ConnectionState.SYN_SENT:
+            self.fail("connect timeout")
+
+    # -- receiving -----------------------------------------------------------
+    def handle_segment(self, segment: TCPSegment) -> None:
+        if segment.flags & FLAG_RST:
+            self._handle_rst(segment)
+            return
+        if self.state is ConnectionState.SYN_SENT:
+            self._handle_syn_sent(segment)
+        elif self.state is ConnectionState.SYN_RECEIVED:
+            self._handle_syn_received(segment)
+        elif self.state is ConnectionState.ESTABLISHED:
+            self._handle_established(segment)
+
+    def _handle_rst(self, segment: TCPSegment) -> None:
+        # A reset is only honoured when it proves knowledge of the secrets a
+        # blind attacker lacks: the handshake ack while connecting, the exact
+        # expected sequence number afterwards.
+        acceptable = (
+            segment.ack == (self.iss + 1) % _SEQ_MOD
+            if self.state is ConnectionState.SYN_SENT
+            else self.rcv_nxt is not None and segment.seq == self.rcv_nxt)
+        if not acceptable:
+            self._reject(segment)
+            return
+        self.fail("connection reset by peer")
+
+    def _handle_syn_sent(self, segment: TCPSegment) -> None:
+        if not (segment.flags & FLAG_SYN and segment.flags & FLAG_ACK):
+            self._reject(segment)
+            return
+        if segment.ack != (self.iss + 1) % _SEQ_MOD:
+            # A spoofed SYN-ACK that does not acknowledge our (unobserved)
+            # ISN — exactly what an off-path injector would send.
+            self._reject(segment)
+            return
+        self.rcv_nxt = (segment.seq + 1) % _SEQ_MOD
+        self.state = ConnectionState.ESTABLISHED
+        if self._connect_timer is not None:
+            self._connect_timer.cancel()
+            self._connect_timer = None
+        self._emit(FLAG_ACK)
+        if self.on_established is not None:
+            self.on_established()
+
+    def _handle_syn_received(self, segment: TCPSegment) -> None:
+        if not segment.flags & FLAG_ACK or segment.ack != (self.iss + 1) % _SEQ_MOD:
+            self._reject(segment)
+            return
+        self.state = ConnectionState.ESTABLISHED
+        self.stack.promote(self)
+        if segment.payload:
+            self._handle_established(segment)
+
+    def _handle_established(self, segment: TCPSegment) -> None:
+        if segment.flags & FLAG_FIN:
+            if segment.seq != self.rcv_nxt:
+                self._reject(segment)
+                return
+            self._teardown(notify_close=True)
+            return
+        if not segment.payload:
+            return  # bare ACK
+        distance = (segment.seq - self.rcv_nxt) % _SEQ_MOD
+        if distance >= RECEIVE_WINDOW:
+            # Out-of-window data: the sequence check that blinds off-path
+            # injection into an established stream.
+            self._reject(segment)
+            return
+        self._out_of_order[segment.seq] = segment.payload
+        while self.rcv_nxt in self._out_of_order:
+            chunk = self._out_of_order.pop(self.rcv_nxt)
+            self.rcv_nxt = (self.rcv_nxt + len(chunk)) % _SEQ_MOD
+            self.bytes_received += len(chunk)
+            if self.on_data is not None:
+                self.on_data(chunk)
+
+    def _reject(self, segment: TCPSegment) -> None:
+        self.injections_rejected += 1
+        self.stack.segments_rejected += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Connection {self.stack.host.address}:{self.local_port} -> "
+                f"{self.remote_ip}:{self.remote_port} {self.state.value}>")
+
+
+class Listener:
+    """A passive TCP endpoint with a finite half-open backlog."""
+
+    def __init__(self, stack: "TCPStack", port: int,
+                 on_connection: Callable[[Connection], None],
+                 backlog: int = DEFAULT_BACKLOG,
+                 syn_timeout: float = SYN_TIMEOUT) -> None:
+        self.stack = stack
+        self.port = port
+        self.on_connection = on_connection
+        self.backlog = backlog
+        self.syn_timeout = syn_timeout
+        self.half_open: Dict[ConnectionKey, Connection] = {}
+        self.connections_accepted = 0
+        #: SYNs dropped because every backlog slot was occupied — the
+        #: observable footprint of a SYN flood.
+        self.syns_dropped = 0
+
+    def handle_syn(self, src_ip: str, segment: TCPSegment) -> None:
+        key = (src_ip, segment.src_port, self.port)
+        if key in self.stack.connections:
+            return  # duplicate SYN for an in-progress or established flow
+        if len(self.half_open) >= self.backlog:
+            self.syns_dropped += 1
+            self.stack.syns_dropped += 1
+            return
+        connection = Connection(
+            self.stack,
+            local_port=self.port,
+            remote_ip=src_ip,
+            remote_port=segment.src_port,
+            isn=self.stack.rng.getrandbits(32),
+            state=ConnectionState.SYN_RECEIVED,
+        )
+        connection.rcv_nxt = (segment.seq + 1) % _SEQ_MOD
+        self.half_open[key] = connection
+        self.stack.connections[key] = connection
+        connection._emit(FLAG_SYN | FLAG_ACK)
+        self.stack.simulator.schedule(
+            self.syn_timeout, lambda c=connection: self._expire_half_open(c))
+
+    def _expire_half_open(self, connection: Connection) -> None:
+        if connection.state is ConnectionState.SYN_RECEIVED:
+            connection._teardown(notify_close=False)
+
+    def _promoted(self, connection: Connection) -> None:
+        self.half_open.pop(connection.key, None)
+        self.connections_accepted += 1
+        self.on_connection(connection)
+
+    def _forgotten(self, connection: Connection) -> None:
+        self.half_open.pop(connection.key, None)
+
+
+class TCPStack:
+    """Per-host TCP endpoint table; created lazily via ``Host.tcp``."""
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self.network = host.network
+        self.listeners: Dict[int, Listener] = {}
+        self.connections: Dict[ConnectionKey, Connection] = {}
+        self.segments_received = 0
+        self.segments_rejected = 0
+        self.syns_dropped = 0
+
+    @property
+    def simulator(self):
+        return self.network.simulator
+
+    @property
+    def rng(self):
+        return self.network.simulator.rng
+
+    def mss_for(self, remote_ip: str) -> int:
+        """Largest segment payload that never IP-fragments on the path."""
+        mtu = self.network.effective_mtu(self.host.address, remote_ip)
+        return max(mtu - IPV4_HEADER_SIZE - TCP_HEADER_SIZE, MIN_MSS)
+
+    # -- active/passive open ---------------------------------------------------
+    def listen(self, port: int, on_connection: Callable[[Connection], None],
+               backlog: int = DEFAULT_BACKLOG,
+               syn_timeout: float = SYN_TIMEOUT) -> Listener:
+        if port in self.listeners:
+            raise TransportError(f"port {port} already has a listener")
+        listener = Listener(self, port, on_connection, backlog=backlog,
+                            syn_timeout=syn_timeout)
+        self.listeners[port] = listener
+        return listener
+
+    def connect(self, remote_ip: str, remote_port: int,
+                local_port: Optional[int] = None,
+                timeout: float = CONNECT_TIMEOUT) -> Connection:
+        """Open a connection (SYN goes out immediately); returns it in
+        ``SYN_SENT`` so the caller can attach callbacks before any reply."""
+        if local_port is None:
+            local_port = self._ephemeral_port(remote_ip, remote_port)
+        connection = Connection(
+            self,
+            local_port=local_port,
+            remote_ip=remote_ip,
+            remote_port=remote_port,
+            isn=self.rng.getrandbits(32),
+            state=ConnectionState.SYN_SENT,
+        )
+        key = connection.key
+        if key in self.connections:
+            raise TransportError(f"connection {key} already exists")
+        self.connections[key] = connection
+        connection._emit(FLAG_SYN)
+        connection._connect_timer = self.simulator.schedule(
+            timeout, connection._on_connect_timeout)
+        return connection
+
+    def _ephemeral_port(self, remote_ip: str, remote_port: int) -> int:
+        while True:
+            port = self.rng.randrange(20000, 60000)
+            if (remote_ip, remote_port, port) not in self.connections:
+                return port
+
+    # -- segment plumbing ------------------------------------------------------
+    def transmit(self, connection: Connection, segment: TCPSegment) -> None:
+        self.network.send_packet(
+            IPPacket(
+                src_ip=self.host.address,
+                dst_ip=connection.remote_ip,
+                ip_id=self.network.next_ip_id(self.host.address),
+                payload=segment.encode(),
+                protocol=PROTO_TCP,
+            )
+        )
+
+    def handle_packet(self, packet: IPPacket) -> None:
+        try:
+            segment = TCPSegment.decode(packet.payload)
+        except PacketError:
+            return
+        self.segments_received += 1
+        connection = self.connections.get(
+            (packet.src_ip, segment.src_port, segment.dst_port))
+        if connection is not None:
+            connection.handle_segment(segment)
+            return
+        listener = self.listeners.get(segment.dst_port)
+        if (listener is not None and segment.flags & FLAG_SYN
+                and not segment.flags & FLAG_ACK):
+            listener.handle_syn(packet.src_ip, segment)
+        # Anything else is dropped silently (see module docstring).
+
+    def promote(self, connection: Connection) -> None:
+        listener = self.listeners.get(connection.local_port)
+        if listener is not None:
+            listener._promoted(connection)
+        elif connection.on_established is not None:  # pragma: no cover - defensive
+            connection.on_established()
+
+    def forget(self, connection: Connection) -> None:
+        self.connections.pop(connection.key, None)
+        listener = self.listeners.get(connection.local_port)
+        if listener is not None:
+            listener._forgotten(connection)
+
+
+# -- application-facing stream sockets ----------------------------------------
+
+
+class StreamSocket:
+    """Uniform byte-stream interface shared by plaintext and TLS channels.
+
+    ``on_ready`` fires when application data may flow (connection
+    established, and — for :class:`SecureChannel` — the handshake done);
+    ``on_data`` receives ordered plaintext bytes; ``on_failure`` reports
+    connect timeouts, resets and handshake failures.
+    """
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        self.on_ready: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.on_failure: Optional[Callable[[str], None]] = None
+
+    @property
+    def ready(self) -> bool:
+        raise NotImplementedError
+
+    def send(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def _fire_ready(self) -> None:
+        if self.on_ready is not None:
+            self.on_ready()
+
+    def _fire_failure(self, reason: str) -> None:
+        if self.on_failure is not None:
+            self.on_failure(reason)
+
+    def _fire_close(self) -> None:
+        if self.on_close is not None:
+            self.on_close()
+
+
+class PlainStreamSocket(StreamSocket):
+    """A cleartext byte stream straight over a :class:`Connection`."""
+
+    def __init__(self, connection: Connection) -> None:
+        super().__init__(connection)
+        connection.on_established = self._fire_ready
+        connection.on_data = self._on_connection_data
+        connection.on_close = self._fire_close
+        connection.on_failure = self._fire_failure
+
+    @property
+    def ready(self) -> bool:
+        return self.connection.established
+
+    def send(self, data: bytes) -> None:
+        self.connection.send(data)
+
+    def _on_connection_data(self, data: bytes) -> None:
+        if self.on_data is not None:
+            self.on_data(data)
+
+
+# -- the TLS model -------------------------------------------------------------
+
+#: The secp256k1 field prime — a fixed, well-known 256-bit prime for the
+#: ephemeral Diffie-Hellman exchange.  Model-strength, not production crypto:
+#: what matters is that taps and diverted hosts cannot derive the session key
+#: from the observed shares.
+DH_PRIME = 2**256 - 2**32 - 977
+DH_GENERATOR = 5
+
+_REC_CLIENT_HELLO = 1
+_REC_SERVER_HELLO = 2
+_REC_ALERT = 21
+_REC_APP_DATA = 23
+
+
+def certificate_signature(cert_key: str, subject: str, share: int,
+                          server_random: bytes) -> bytes:
+    """Keyed digest binding a server's ephemeral share to its identity.
+
+    The same modelling idiom as DNSSEC response signing in
+    :mod:`repro.defenses.hardening`: the key stands in for the zone's
+    certificate/CA key, secret by convention.  Covering the ephemeral share
+    and the server random makes the signature useless for replay by an
+    impersonator.
+    """
+    material = f"{cert_key}|{subject}|{share}|{server_random.hex()}"
+    return hashlib.sha256(material.encode("ascii")).digest()
+
+
+def _frame_record(record_type: int, body: bytes) -> bytes:
+    return bytes([record_type]) + len(body).to_bytes(2, "big") + body
+
+
+class _RecordDecoder:
+    """Reassembles ``type | len16 | body`` records from stream chunks."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        self._buffer += data
+        records: List[Tuple[int, bytes]] = []
+        while len(self._buffer) >= 3:
+            length = int.from_bytes(self._buffer[1:3], "big")
+            if len(self._buffer) < 3 + length:
+                break
+            records.append((self._buffer[0], bytes(self._buffer[3:3 + length])))
+            del self._buffer[:3 + length]
+        return records
+
+
+class SecureChannel(StreamSocket):
+    """A TLS 1.3-flavoured secure byte stream over a :class:`Connection`.
+
+    Client side::
+
+        channel = SecureChannel.client(connection, rng,
+                                       expected_identity="pool.ntp.org",
+                                       trust_anchor=cert_key)
+
+    Server side (inside a listener's ``on_connection``)::
+
+        channel = SecureChannel.server(connection, rng,
+                                       identity="pool.ntp.org",
+                                       cert_key=cert_key)
+
+    Handshake cost is one round trip on top of the TCP handshake
+    (ClientHello out with the final ACK's flight, ServerHello back).  The
+    client rejects a ServerHello whose certificate subject differs from the
+    pinned ``expected_identity`` or whose signature does not verify under
+    the ``trust_anchor`` — which is exactly what stops a BGP hijacker, who
+    can complete a TCP handshake for the diverted address but holds no
+    certificate key.  After the handshake, application bytes travel as
+    XOR-keystream ciphertext records: opaque to taps.
+    """
+
+    def __init__(self, connection: Connection, rng, *, client: bool,
+                 identity: Optional[str] = None,
+                 cert_key: Optional[str] = None,
+                 expected_identity: Optional[str] = None,
+                 trust_anchor: Optional[str] = None) -> None:
+        super().__init__(connection)
+        self.is_client = client
+        self.identity = identity
+        self.cert_key = cert_key
+        self.expected_identity = expected_identity
+        self.trust_anchor = trust_anchor
+        self.peer_identity: Optional[str] = None
+        self.handshake_complete = False
+        self._rng = rng
+        self._decoder = _RecordDecoder()
+        self._secret = rng.getrandbits(255) | 1
+        self._share = pow(DH_GENERATOR, self._secret, DH_PRIME)
+        self._random = rng.getrandbits(256).to_bytes(32, "big")
+        self._key: Optional[bytes] = None
+        self._send_counter = 0
+        self._recv_counter = 0
+        connection.on_data = self._on_connection_data
+        connection.on_close = self._fire_close
+        connection.on_failure = self._fire_failure
+        if client:
+            if connection.established:
+                self._send_client_hello()
+            else:
+                connection.on_established = self._send_client_hello
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def client(cls, connection: Connection, rng, *, expected_identity: str,
+               trust_anchor: str) -> "SecureChannel":
+        return cls(connection, rng, client=True,
+                   expected_identity=expected_identity, trust_anchor=trust_anchor)
+
+    @classmethod
+    def server(cls, connection: Connection, rng, *, identity: str,
+               cert_key: str) -> "SecureChannel":
+        return cls(connection, rng, client=False, identity=identity,
+                   cert_key=cert_key)
+
+    @property
+    def ready(self) -> bool:
+        return self.handshake_complete and self.connection.established
+
+    # -- handshake -------------------------------------------------------------
+    def _send_client_hello(self) -> None:
+        body = self._random + self._share.to_bytes(32, "big")
+        self.connection.send(_frame_record(_REC_CLIENT_HELLO, body))
+
+    def _handle_client_hello(self, body: bytes) -> None:
+        if len(body) != 64 or self.is_client:
+            self._abort("malformed ClientHello")
+            return
+        client_random = body[:32]
+        client_share = int.from_bytes(body[32:64], "big")
+        subject = (self.identity or "").encode("ascii")
+        signature = certificate_signature(self.cert_key or "", self.identity or "",
+                                          self._share, self._random)
+        hello = (
+            self._random
+            + self._share.to_bytes(32, "big")
+            + len(subject).to_bytes(2, "big") + subject
+            + signature
+        )
+        self.connection.send(_frame_record(_REC_SERVER_HELLO, hello))
+        self._derive_key(client_share, client_random, self._random)
+        self.handshake_complete = True
+        self._fire_ready()
+
+    def _handle_server_hello(self, body: bytes) -> None:
+        if not self.is_client or len(body) < 66:
+            self._abort("malformed ServerHello")
+            return
+        server_random = body[:32]
+        server_share = int.from_bytes(body[32:64], "big")
+        subject_length = int.from_bytes(body[64:66], "big")
+        if len(body) != 66 + subject_length + 32:
+            self._abort("malformed ServerHello")
+            return
+        subject = body[66:66 + subject_length].decode("ascii", errors="replace")
+        signature = body[66 + subject_length:]
+        if subject != self.expected_identity:
+            self._abort(f"certificate subject {subject!r} is not the pinned "
+                        f"identity {self.expected_identity!r}")
+            return
+        expected = certificate_signature(self.trust_anchor or "", subject,
+                                         server_share, server_random)
+        if signature != expected:
+            self._abort("certificate signature did not verify")
+            return
+        self.peer_identity = subject
+        self._derive_key(server_share, self._random, server_random)
+        self.handshake_complete = True
+        self._fire_ready()
+
+    def _derive_key(self, peer_share: int, client_random: bytes,
+                    server_random: bytes) -> None:
+        shared = pow(peer_share, self._secret, DH_PRIME)
+        self._key = hashlib.sha256(
+            shared.to_bytes(32, "big") + client_random + server_random).digest()
+
+    def _abort(self, reason: str) -> None:
+        if self.connection.established:
+            self.connection.send(_frame_record(_REC_ALERT, reason.encode("utf-8")))
+        self.connection.close()
+        self._fire_failure(reason)
+
+    # -- application data --------------------------------------------------------
+    def _keystream(self, direction: bytes, counter: int, length: int) -> bytes:
+        assert self._key is not None
+        stream = bytearray()
+        block = 0
+        while len(stream) < length:
+            stream += hashlib.sha256(
+                self._key + direction + counter.to_bytes(8, "big")
+                + block.to_bytes(4, "big")).digest()
+            block += 1
+        return bytes(stream[:length])
+
+    def send(self, data: bytes) -> None:
+        if not self.ready:
+            raise TransportError("secure channel is not ready")
+        direction = b"c2s" if self.is_client else b"s2c"
+        keystream = self._keystream(direction, self._send_counter, len(data))
+        self._send_counter += 1
+        ciphertext = bytes(a ^ b for a, b in zip(data, keystream))
+        self.connection.send(_frame_record(_REC_APP_DATA, ciphertext))
+
+    def _handle_app_data(self, body: bytes) -> None:
+        if self._key is None:
+            self._abort("application data before handshake")
+            return
+        direction = b"s2c" if self.is_client else b"c2s"
+        keystream = self._keystream(direction, self._recv_counter, len(body))
+        self._recv_counter += 1
+        plaintext = bytes(a ^ b for a, b in zip(body, keystream))
+        if self.on_data is not None:
+            self.on_data(plaintext)
+
+    # -- record dispatch -----------------------------------------------------------
+    def _on_connection_data(self, data: bytes) -> None:
+        for record_type, body in self._decoder.feed(data):
+            if record_type == _REC_CLIENT_HELLO:
+                self._handle_client_hello(body)
+            elif record_type == _REC_SERVER_HELLO:
+                self._handle_server_hello(body)
+            elif record_type == _REC_APP_DATA:
+                self._handle_app_data(body)
+            elif record_type == _REC_ALERT:
+                self.connection.close()
+                self._fire_failure(body.decode("utf-8", errors="replace"))

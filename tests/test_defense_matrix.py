@@ -31,6 +31,12 @@ TRIMMED_STACKS = (
     DefenseStackSpec("multi_vantage", ("multi_vantage",)),
 )
 
+#: Digest of the trimmed legacy grid at seeds (1, 2) as produced by the
+#: PR-3 code, pinned so the encrypted-transport subsystem (and anything
+#: after it) provably leaves the pre-transport cells byte-identical.  The
+#: full-grid PR-2 pin lives in benchmarks/bench_matrix_scaleout.py.
+TRIMMED_LEGACY_DIGEST = "dc79b9c580fe3132cbce6a489bd2745dd291c73e9ff73e04a5611b5f08e39fde"
+
 
 @pytest.fixture(scope="module")
 def full_matrix():
@@ -46,12 +52,22 @@ def test_attack_spec_rejects_a_defenses_param():
 def test_default_grid_covers_all_attacks_and_enough_stacks(full_matrix):
     scenario_names = {attack.scenario for attack in DEFAULT_ATTACKS}
     assert {"chronos_pool_attack", "traditional_client_attack",
-            "bgp_hijack", "frag_poisoning"} <= scenario_names
+            "bgp_hijack", "frag_poisoning", "downgrade"} <= scenario_names
     assert len(DEFAULT_STACKS) >= 5
     assert len(full_matrix.cells) == len(DEFAULT_ATTACKS) * len(DEFAULT_STACKS)
     for attack in DEFAULT_ATTACKS:
         for stack in DEFAULT_STACKS:
             assert full_matrix.cell(attack.label, stack.name).runs == 1
+
+
+def test_default_grid_extends_the_legacy_grid_in_place():
+    from repro.experiments import LEGACY_ATTACKS, LEGACY_STACKS
+
+    assert DEFAULT_ATTACKS[:len(LEGACY_ATTACKS)] == LEGACY_ATTACKS
+    assert DEFAULT_STACKS[:len(LEGACY_STACKS)] == LEGACY_STACKS
+    assert [a.label for a in DEFAULT_ATTACKS[len(LEGACY_ATTACKS):]] == ["downgrade"]
+    assert [s.name for s in DEFAULT_STACKS[len(LEGACY_STACKS):]] == [
+        "dot_strict", "dot_opportunistic"]
 
 
 def test_matrix_blocking_pattern_matches_the_paper(full_matrix):
@@ -76,6 +92,33 @@ def test_matrix_blocking_pattern_matches_the_paper(full_matrix):
     assert table["chronos_24h_hijack"]["section5"] == 1.0
     assert table["chronos_24h_hijack"]["multi_vantage"] == 1.0
     assert table["chronos_24h_hijack"]["hardened"] == 1.0
+
+
+def test_strict_dot_column_clears_every_offpath_row(full_matrix):
+    table = full_matrix.success_table()
+    # Strict encrypted transport closes every off-path vector — including
+    # the residual 24-hour hijack, which no legacy stack short of DNSSEC
+    # stopped: the hijacker can blackhole resolution but no longer answer it.
+    for attack, rates in table.items():
+        assert rates["dot_strict"] == 0.0, attack
+
+
+def test_downgrade_row_keeps_the_transport_columns_honest(full_matrix):
+    table = full_matrix.success_table()
+    # The downgrade vector walks through the opportunistic policy (fallback
+    # is the vulnerability) and fails closed against strict DoT.
+    assert table["downgrade"]["dot_opportunistic"] == 1.0
+    assert table["downgrade"]["dot_strict"] == 0.0
+    # Without a transport defense the scenario degenerates to the classic
+    # fragmentation race, with the matching blocking pattern.
+    assert table["downgrade"]["classic"] == 1.0
+    assert table["downgrade"]["frag_reject"] == 0.0
+    assert table["downgrade"]["dnssec"] == 0.0
+    # Opportunistic DoT incidentally blocks the pure frag splice (the query
+    # rides the stream) but reopens every hijack-driven row via fallback.
+    assert table["frag_poisoning"]["dot_opportunistic"] == 0.0
+    assert table["bgp_hijack"]["dot_opportunistic"] == 1.0
+    assert table["chronos_24h_hijack"]["dot_opportunistic"] == 1.0
 
 
 def test_matrix_reproduces_the_section5_analytic_table(full_matrix):
@@ -105,6 +148,9 @@ def test_trimmed_matrix_is_byte_identical_across_worker_counts():
     assert sequential.digest() == parallel.digest()
     for key in sequential.cells:
         assert sequential.cells[key].result.records == parallel.cells[key].result.records
+    # The transport subsystem is invisible to pre-transport cells: the
+    # trimmed legacy grid still digests to its pinned PR-3 value.
+    assert sequential.digest() == TRIMMED_LEGACY_DIGEST
 
 
 def test_matrix_cell_addressing_and_reporting():

@@ -162,6 +162,101 @@ def test_per_link_properties_override_default():
     assert len(receiver.inbox) == 1
 
 
+def test_link_override_is_directional_and_mtu_aware():
+    simulator, network = make_network()
+    a = RecordingHost(network, "10.0.0.1")
+    b = RecordingHost(network, "10.0.0.2")
+    network.set_link("10.0.0.1", "10.0.0.2", LinkProperties(mtu=548))
+    payload = b"Z" * 1200
+    network.send_datagram(UDPDatagram("10.0.0.1", "10.0.0.2", 1111, 53, payload))
+    simulator.run()
+    fragmented_count = network.packets_sent
+    assert fragmented_count >= 3          # constrained direction fragments
+    network.send_datagram(UDPDatagram("10.0.0.2", "10.0.0.1", 53, 1111, payload))
+    simulator.run()
+    assert network.packets_sent == fragmented_count + 1  # reverse path does not
+    assert len(a.inbox) == 1 and len(b.inbox) == 1
+
+
+def test_effective_mtu_combines_path_mtu_and_link_mtu():
+    _, network = make_network()
+    assert network.effective_mtu("10.0.0.1", "10.0.0.2") == 1500
+    network.set_link("10.0.0.1", "10.0.0.2", LinkProperties(mtu=1200))
+    assert network.effective_mtu("10.0.0.1", "10.0.0.2") == 1200
+    network.set_path_mtu("10.0.0.1", 548)
+    assert network.effective_mtu("10.0.0.1", "10.0.0.2") == 548
+    # The path MTU follows the *source*, the link override the (src, dst) pair.
+    assert network.effective_mtu("10.0.0.1", "10.0.0.9") == 548
+    assert network.effective_mtu("10.0.0.2", "10.0.0.1") == 1500
+
+
+def test_set_path_mtu_applies_per_source_not_per_destination():
+    simulator, network = make_network()
+    RecordingHost(network, "10.0.0.1")
+    receiver = RecordingHost(network, "10.0.0.2")
+    network.set_path_mtu("10.0.0.9", 548)  # someone else's path
+    network.send_datagram(UDPDatagram("10.0.0.1", "10.0.0.2", 1111, 53, b"Z" * 1200))
+    simulator.run()
+    assert network.packets_sent == 1  # our source is unconstrained
+    assert len(receiver.inbox) == 1
+
+
+def test_taps_run_in_attachment_order_for_every_packet():
+    simulator, network = make_network()
+    RecordingHost(network, "10.0.0.1")
+    RecordingHost(network, "10.0.0.2")
+    order = []
+    network.add_tap(lambda packet, now: order.append("first"))
+    network.add_tap(lambda packet, now: order.append("second"))
+    network.set_path_mtu("10.0.0.1", 548)
+    network.send_datagram(UDPDatagram("10.0.0.1", "10.0.0.2", 1111, 53, b"Z" * 1200))
+    simulator.run()
+    assert len(order) >= 4 and len(order) % 2 == 0
+    assert order == ["first", "second"] * (len(order) // 2)
+
+
+def test_taps_observe_only_ciphertext_for_secure_channel_traffic():
+    from repro.netsim.transport import SecureChannel
+
+    simulator, network = make_network()
+    client = RecordingHost(network, "10.0.0.1")
+    server = RecordingHost(network, "10.0.0.2")
+    wire = bytearray()
+    network.add_tap(lambda packet, now: wire.extend(packet.payload))
+
+    def on_connection(conn):
+        channel = SecureChannel.server(conn, simulator.rng,
+                                       identity="pool.ntp.org", cert_key="zk")
+        channel.on_data = lambda data, channel=channel: channel.send(b"CONFIDENTIAL-ANSWER")
+    server.tcp.listen(853, on_connection)
+    channel = SecureChannel.client(client.tcp.connect("10.0.0.2", 853),
+                                   simulator.rng,
+                                   expected_identity="pool.ntp.org",
+                                   trust_anchor="zk")
+    plaintexts = []
+    channel.on_ready = lambda: channel.send(b"CONFIDENTIAL-QUERY")
+    channel.on_data = plaintexts.append
+    simulator.run(until=1.0)
+    assert plaintexts == [b"CONFIDENTIAL-ANSWER"]   # endpoints see plaintext
+    assert b"CONFIDENTIAL" not in bytes(wire)       # taps see only ciphertext
+
+
+def test_tcp_segments_to_stackless_hosts_are_dropped_silently():
+    from repro.netsim.packets import PROTO_TCP
+    from repro.netsim.transport import FLAG_SYN, TCPSegment
+
+    simulator, network = make_network()
+    receiver = RecordingHost(network, "10.0.0.2")
+    segment = TCPSegment(src_port=1234, dst_port=853, seq=1, ack=0, flags=FLAG_SYN)
+    network.inject(IPPacket(src_ip="10.0.0.99", dst_ip="10.0.0.2", ip_id=1,
+                            payload=segment.encode(), protocol=PROTO_TCP,
+                            spoofed=True))
+    simulator.run()
+    assert receiver.inbox == []            # never reached the UDP path
+    assert receiver.received_datagrams == 0
+    assert receiver._tcp is None           # and no stack was conjured up
+
+
 # -- BGP ---------------------------------------------------------------------
 
 def test_routing_table_longest_prefix_wins():

@@ -1,0 +1,323 @@
+"""Unit tests for the connection-oriented netsim layer (TCP + SecureChannel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.network import Host, LinkProperties, Network
+from repro.netsim.packets import PROTO_TCP, IPPacket
+from repro.netsim.simulator import Simulator
+from repro.netsim.transport import (
+    FLAG_ACK,
+    FLAG_RST,
+    FLAG_SYN,
+    ConnectionState,
+    PlainStreamSocket,
+    SecureChannel,
+    TCPSegment,
+    TransportError,
+)
+
+
+class Node(Host):
+    def handle_datagram(self, datagram):
+        pass
+
+
+def make_pair(latency=0.01, seed=11):
+    simulator = Simulator(seed=seed)
+    network = Network(simulator, default_link=LinkProperties(latency=latency))
+    return simulator, network, Node(network, "10.0.0.1"), Node(network, "10.0.0.2")
+
+
+def serve_echo(host, port, received):
+    """Listen on ``port``; echo every chunk back prefixed with ``ack:``."""
+    def on_connection(conn):
+        sock = PlainStreamSocket(conn)
+
+        def on_data(data, sock=sock):
+            received.append(data)
+            sock.send(b"ack:" + data)
+
+        sock.on_data = on_data
+    return host.tcp.listen(port, on_connection)
+
+
+# -- segments -------------------------------------------------------------------
+
+def test_segment_encode_decode_round_trip():
+    segment = TCPSegment(src_port=12345, dst_port=853, seq=0xDEADBEEF,
+                         ack=0x01020304, flags=FLAG_SYN | FLAG_ACK, payload=b"xyz")
+    decoded = TCPSegment.decode(segment.encode())
+    assert decoded == segment
+    assert segment.wire_size == 20 + 3
+
+
+def test_segment_decode_rejects_truncated_header():
+    from repro.netsim.packets import PacketError
+
+    with pytest.raises(PacketError):
+        TCPSegment.decode(b"\x00" * 10)
+
+
+# -- handshake and data transfer ------------------------------------------------
+
+def test_three_way_handshake_and_echo():
+    simulator, network, client, server = make_pair()
+    received = []
+    serve_echo(server, 4000, received)
+    conn = client.tcp.connect("10.0.0.2", 4000)
+    sock = PlainStreamSocket(conn)
+    replies = []
+    sock.on_ready = lambda: sock.send(b"ping")
+    sock.on_data = replies.append
+    simulator.run(until=1.0)
+    assert conn.state is ConnectionState.ESTABLISHED
+    assert received == [b"ping"]
+    assert b"".join(replies) == b"ack:ping"
+
+
+def test_handshake_takes_latency_round_trips():
+    simulator, network, client, server = make_pair(latency=0.1)
+    server.tcp.listen(4000, lambda conn: None)
+    established = []
+    conn = client.tcp.connect("10.0.0.2", 4000)
+    conn.on_established = lambda: established.append(simulator.now)
+    simulator.run(until=1.0)
+    # SYN out (0.1) + SYN-ACK back (0.1): established after one RTT.
+    assert established == [pytest.approx(0.2)]
+
+
+def test_isns_are_rng_drawn_and_deterministic():
+    def run(seed):
+        simulator, network, client, server = make_pair(seed=seed)
+        server.tcp.listen(4000, lambda conn: None)
+        conn = client.tcp.connect("10.0.0.2", 4000)
+        simulator.run(until=1.0)
+        return conn.iss
+
+    assert run(1) == run(1)
+    assert run(1) != run(2)
+
+
+def test_mss_segmentation_and_in_order_reassembly():
+    simulator, network, client, server = make_pair()
+    network.set_path_mtu("10.0.0.1", 200)  # mss = 200 - 20 - 20 = 160
+    received = []
+
+    def on_connection(conn):
+        sock = PlainStreamSocket(conn)
+        sock.on_data = received.append
+    server.tcp.listen(4000, on_connection)
+
+    conn = client.tcp.connect("10.0.0.2", 4000)
+    assert conn.mss == 160
+    payload = bytes(range(256)) * 4  # 1024 bytes -> 7 segments
+    sock = PlainStreamSocket(conn)
+    sock.on_ready = lambda: sock.send(payload)
+    simulator.run(until=1.0)
+    assert b"".join(received) == payload
+    assert max(len(chunk) for chunk in received) <= 160
+
+
+def test_send_requires_established_connection():
+    simulator, network, client, server = make_pair()
+    server.tcp.listen(4000, lambda conn: None)
+    conn = client.tcp.connect("10.0.0.2", 4000)
+    with pytest.raises(TransportError):
+        conn.send(b"too early")
+
+
+def test_connect_timeout_fires_when_no_listener():
+    simulator, network, client, server = make_pair()
+    failures = []
+    conn = client.tcp.connect("10.0.0.2", 4000, timeout=2.0)
+    conn.on_failure = failures.append
+    simulator.run(until=5.0)
+    assert failures == ["connect timeout"]
+    assert conn.state is ConnectionState.CLOSED
+    assert client.tcp.connections == {}
+
+
+# -- off-path injection defenses ------------------------------------------------
+
+def test_blind_data_injection_rejected_by_sequence_check():
+    simulator, network, client, server = make_pair()
+    received = []
+    serve_echo(server, 4000, received)
+    conn = client.tcp.connect("10.0.0.2", 4000)
+    sock = PlainStreamSocket(conn)
+    simulator.run(until=1.0)
+    assert conn.established
+    # Off-path attacker spoofs a data segment with the right 4-tuple but an
+    # unobservable (wrong) sequence number.
+    server_conn = next(iter(server.tcp.connections.values()))
+    bogus = TCPSegment(src_port=conn.local_port, dst_port=4000,
+                       seq=(server_conn.rcv_nxt + 2**31) % 2**32,
+                       ack=0, flags=FLAG_ACK, payload=b"EVIL")
+    network.inject(IPPacket(src_ip="10.0.0.1", dst_ip="10.0.0.2",
+                            ip_id=7, payload=bogus.encode(), protocol=PROTO_TCP,
+                            spoofed=True))
+    simulator.run(until=2.0)
+    assert received == []
+    assert server_conn.injections_rejected == 1
+    assert server.tcp.segments_rejected == 1
+
+
+def test_blind_rst_rejected_without_sequence_knowledge():
+    simulator, network, client, server = make_pair()
+    serve_echo(server, 4000, [])
+    conn = client.tcp.connect("10.0.0.2", 4000)
+    PlainStreamSocket(conn)
+    simulator.run(until=1.0)
+    rst = TCPSegment(src_port=4000, dst_port=conn.local_port,
+                     seq=12345, ack=0, flags=FLAG_RST)
+    network.inject(IPPacket(src_ip="10.0.0.2", dst_ip="10.0.0.1",
+                            ip_id=9, payload=rst.encode(), protocol=PROTO_TCP,
+                            spoofed=True))
+    simulator.run(until=2.0)
+    assert conn.established
+    assert conn.injections_rejected == 1
+
+
+def test_spoofed_synack_with_wrong_ack_rejected():
+    simulator, network, client, server = make_pair()
+    conn = client.tcp.connect("10.0.0.2", 4000, timeout=10.0)
+    spoofed = TCPSegment(src_port=4000, dst_port=conn.local_port,
+                         seq=999, ack=(conn.iss + 2) % 2**32,
+                         flags=FLAG_SYN | FLAG_ACK)
+    network.inject(IPPacket(src_ip="10.0.0.2", dst_ip="10.0.0.1",
+                            ip_id=3, payload=spoofed.encode(), protocol=PROTO_TCP,
+                            spoofed=True))
+    simulator.run(until=1.0)
+    assert conn.state is ConnectionState.SYN_SENT
+    assert conn.injections_rejected == 1
+
+
+# -- listener backlog (SYN flood) ------------------------------------------------
+
+def flood_listener(network, dst, port, count, rng):
+    for index in range(count):
+        segment = TCPSegment(src_port=1024 + index, dst_port=port,
+                             seq=rng.getrandbits(32), ack=0, flags=FLAG_SYN)
+        network.inject(IPPacket(src_ip=f"203.0.113.{index % 254 + 1}",
+                                dst_ip=dst, ip_id=index + 1,
+                                payload=segment.encode(), protocol=PROTO_TCP,
+                                spoofed=True))
+
+
+def test_syn_flood_fills_backlog_and_drops_genuine_syn():
+    simulator, network, client, server = make_pair()
+    accepted = []
+    listener = server.tcp.listen(4000, accepted.append, backlog=8, syn_timeout=30.0)
+    flood_listener(network, "10.0.0.2", 4000, 20, simulator.rng)
+    simulator.run(until=0.5)
+    assert len(listener.half_open) == 8
+    assert listener.syns_dropped == 12
+    failures = []
+    conn = client.tcp.connect("10.0.0.2", 4000, timeout=1.0)
+    conn.on_failure = failures.append
+    simulator.run(until=3.0)
+    assert failures == ["connect timeout"]
+    assert accepted == []
+
+
+def test_half_open_entries_expire_and_listener_recovers():
+    simulator, network, client, server = make_pair()
+    accepted = []
+    listener = server.tcp.listen(4000, accepted.append, backlog=4, syn_timeout=2.0)
+    flood_listener(network, "10.0.0.2", 4000, 4, simulator.rng)
+    simulator.run(until=0.5)
+    assert len(listener.half_open) == 4
+    simulator.run(until=5.0)  # past the SYN timeout
+    assert listener.half_open == {}
+    conn = client.tcp.connect("10.0.0.2", 4000)
+    PlainStreamSocket(conn)
+    simulator.run(until=6.0)
+    assert conn.established
+    assert len(accepted) == 1
+
+
+# -- secure channel --------------------------------------------------------------
+
+def secure_server(host, port, cert_key, identity, received):
+    def on_connection(conn):
+        channel = SecureChannel.server(conn, host.network.simulator.rng,
+                                       identity=identity, cert_key=cert_key)
+
+        def on_data(data, channel=channel):
+            received.append(data)
+            channel.send(b"answer:" + data)
+
+        channel.on_data = on_data
+    return host.tcp.listen(port, on_connection)
+
+
+def test_secure_channel_round_trip_and_identity():
+    simulator, network, client, server = make_pair()
+    received = []
+    secure_server(server, 853, "zone-key", "pool.ntp.org", received)
+    conn = client.tcp.connect("10.0.0.2", 853)
+    channel = SecureChannel.client(conn, simulator.rng,
+                                   expected_identity="pool.ntp.org",
+                                   trust_anchor="zone-key")
+    replies = []
+    channel.on_ready = lambda: channel.send(b"query")
+    channel.on_data = replies.append
+    simulator.run(until=1.0)
+    assert received == [b"query"]
+    assert replies == [b"answer:query"]
+    assert channel.peer_identity == "pool.ntp.org"
+
+
+def test_secure_channel_rejects_wrong_identity_and_forged_key():
+    for anchor, identity, expected_fragment in (
+            ("zone-key", "evil.example", "pinned"),
+            ("attacker-key", "pool.ntp.org", "signature")):
+        simulator, network, client, server = make_pair()
+        secure_server(server, 853, "zone-key", identity, [])
+        conn = client.tcp.connect("10.0.0.2", 853)
+        channel = SecureChannel.client(conn, simulator.rng,
+                                       expected_identity="pool.ntp.org",
+                                       trust_anchor=anchor)
+        failures = []
+        channel.on_failure = failures.append
+        simulator.run(until=1.0)
+        assert len(failures) == 1 and expected_fragment in failures[0]
+        assert not channel.ready
+
+
+def test_secure_channel_payload_opaque_to_taps():
+    simulator, network, client, server = make_pair()
+    wire = bytearray()
+    network.add_tap(lambda packet, now: wire.extend(packet.payload))
+    received = []
+    secure_server(server, 853, "zone-key", "pool.ntp.org", received)
+    conn = client.tcp.connect("10.0.0.2", 853)
+    channel = SecureChannel.client(conn, simulator.rng,
+                                   expected_identity="pool.ntp.org",
+                                   trust_anchor="zone-key")
+    secret = b"SECRET-QUESTION-pool.ntp.org"
+    channel.on_ready = lambda: channel.send(secret)
+    simulator.run(until=1.0)
+    assert received == [secret]          # the endpoint decrypts it...
+    assert secret not in bytes(wire)     # ...but the wire never carries it
+    assert b"SECRET" not in bytes(wire)
+
+
+def test_secure_channel_deterministic_per_seed():
+    def transcript(seed):
+        simulator, network, client, server = make_pair(seed=seed)
+        frames = []
+        network.add_tap(lambda packet, now: frames.append(bytes(packet.payload)))
+        secure_server(server, 853, "k", "pool.ntp.org", [])
+        conn = client.tcp.connect("10.0.0.2", 853)
+        channel = SecureChannel.client(conn, simulator.rng,
+                                       expected_identity="pool.ntp.org",
+                                       trust_anchor="k")
+        channel.on_ready = lambda: channel.send(b"q")
+        simulator.run(until=1.0)
+        return frames
+
+    assert transcript(5) == transcript(5)
+    assert transcript(5) != transcript(6)
