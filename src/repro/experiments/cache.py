@@ -88,13 +88,15 @@ def task_key(scenario_name: str, seed: int, params: Mapping[str, Any],
 class CacheStats:
     """Hit/miss/write accounting for one :class:`RunCache` instance."""
 
-    __slots__ = ("hits", "misses", "writes", "corrupt_lines", "invalidated")
+    __slots__ = ("hits", "misses", "writes", "corrupt_lines", "duplicate_lines",
+                 "invalidated")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.corrupt_lines = 0
+        self.duplicate_lines = 0
         self.invalidated = 0
 
     @property
@@ -108,7 +110,8 @@ class CacheStats:
     def formatted(self) -> str:
         return (f"{self.hits}/{self.lookups} hits "
                 f"({self.hit_rate:.0%}), {self.writes} writes, "
-                f"{self.corrupt_lines} corrupt lines skipped")
+                f"{self.corrupt_lines} corrupt lines skipped, "
+                f"{self.duplicate_lines} duplicate lines collapsed")
 
 
 class RunCache:
@@ -175,6 +178,11 @@ class RunCache:
                 # worth one recomputation, not a crash.
                 self.stats.corrupt_lines += 1
                 continue
+            # Repeated keys (a crash-looped writer re-appending the same
+            # cell) collapse last-write-wins: one in-memory entry per key,
+            # so replay memory is bounded by distinct cells, not file lines.
+            if key in entries:
+                self.stats.duplicate_lines += 1
             entries[key] = entry
         self._shards[shard] = entries
         return entries

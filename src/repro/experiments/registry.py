@@ -41,7 +41,7 @@ class Scenario(Protocol):
 _REGISTRY: Dict[str, Scenario] = {}
 
 #: Modules imported on first lookup; importing them registers the builtins.
-_BUILTIN_MODULES = ("repro.experiments.scenarios",)
+_BUILTIN_MODULES = ("repro.experiments.scenarios", "repro.population.scenario")
 _builtins_loaded = False
 
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from .cache import RunCache
 from .results import ExperimentResult, RunRecord
@@ -72,6 +72,11 @@ def _execute_chunk(job: Tuple[int, List[Task]]) -> Tuple[int, List[RunRecord]]:
     return start, [_execute_task(task) for task in tasks]
 
 
+#: Progress observer: called with ``(done, total)`` as the task stream
+#: completes.  ``done`` counts cache replays plus executed tasks.
+ProgressCallback = Callable[[int, int], None]
+
+
 @dataclass
 class SweepStats:
     """What one scheduler invocation did, for reporting and benchmarks."""
@@ -101,13 +106,23 @@ class SweepScheduler:
     cache:
         Optional :class:`RunCache`; hits skip execution, misses are written
         back after the stream completes.
+    on_progress:
+        Optional callback invoked with ``(done, total)`` as tasks complete —
+        once after cache replay, then per task inline or per completed chunk
+        pooled — so long sweeps (million-client population shards) are not
+        silent for minutes.  Called from the parent process only; exceptions
+        propagate to the caller.
     """
 
-    def __init__(self, workers: int = 1, cache: Optional[RunCache] = None) -> None:
+    def __init__(self, workers: int = 1, cache: Optional[RunCache] = None,
+                 on_progress: Optional[ProgressCallback] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
         self.cache = cache
+        self.on_progress = on_progress
+        self._done = 0
+        self._total = 0
 
     # -- task-level API ------------------------------------------------------
     def run_tasks(self, tasks: Sequence[Task]) -> Tuple[List[RunRecord], SweepStats]:
@@ -115,6 +130,8 @@ class SweepScheduler:
         start_time = time.perf_counter()
         stats = SweepStats(tasks_total=len(tasks), workers=self.workers)
         records: List[Optional[RunRecord]] = [None] * len(tasks)
+        self._done = 0
+        self._total = len(tasks)
 
         pending: List[Tuple[int, Task]] = []
         if self.cache is not None:
@@ -125,6 +142,7 @@ class SweepScheduler:
                 else:
                     pending.append((index, task))
             stats.cache_hits = len(tasks) - len(pending)
+            self._report_progress(stats.cache_hits)
         else:
             pending = list(enumerate(tasks))
 
@@ -136,6 +154,11 @@ class SweepScheduler:
 
         stats.elapsed_seconds = time.perf_counter() - start_time
         return list(records), stats  # type: ignore[arg-type]
+
+    def _report_progress(self, newly_done: int) -> None:
+        self._done += newly_done
+        if self.on_progress is not None and newly_done:
+            self.on_progress(self._done, self._total)
 
     def _persist(self, records: Sequence[RunRecord]) -> None:
         """Write freshly-computed records to the cache as they arrive.
@@ -163,6 +186,7 @@ class SweepScheduler:
                 record = _execute_task(task)
                 self._persist((record,))
                 results_inline.append(record)
+                self._report_progress(1)
             return results_inline
 
         jobs: List[Tuple[int, List[Task]]] = []
@@ -181,6 +205,7 @@ class SweepScheduler:
             for start, chunk_records in pool.imap_unordered(_execute_chunk, jobs):
                 self._persist(chunk_records)
                 results[starts[start]] = chunk_records
+                self._report_progress(len(chunk_records))
         flattened: List[RunRecord] = []
         for chunk_records in results:
             assert chunk_records is not None

@@ -92,11 +92,18 @@ class ResolverProfile:
 def generate_nameserver_population(seed: int = 0,
                                    total: int = PAPER_NAMESERVER_TOTAL,
                                    fragmenting: int = PAPER_NAMESERVERS_FRAGMENTING,
+                                   rng: Optional[random.Random] = None,
                                    ) -> List[NameserverProfile]:
-    """Build a nameserver population matching the published 16-of-30 marginal."""
+    """Build a nameserver population matching the published 16-of-30 marginal.
+
+    ``rng`` lets experiment harnesses supply their own generator so population
+    studies compose with experiment-level seeding; when omitted, a locally
+    seeded generator preserves the historical default-seed populations.
+    """
     if fragmenting > total:
         raise ValueError("fragmenting count cannot exceed the population size")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     profiles: List[NameserverProfile] = []
     indices = list(range(total))
     rng.shuffle(indices)
@@ -121,16 +128,20 @@ def generate_resolver_population(seed: int = 0, total: int = 5000,
                                  accept_any_fraction: float = PAPER_RESOLVER_ACCEPT_ANY_FRACTION,
                                  accept_minimum_fraction: float = PAPER_RESOLVER_ACCEPT_MINIMUM_FRACTION,
                                  triggerable_fraction: float = PAPER_RESOLVER_TRIGGERABLE_FRACTION,
+                                 rng: Optional[random.Random] = None,
                                  ) -> List[ResolverProfile]:
     """Build a resolver population matching the published 90 % / 64 % / 14 % marginals.
 
     The fractions are enforced by construction (deterministic quotas over a
     shuffled population) rather than by sampling, so small populations still
-    reproduce the marginals exactly up to rounding.
+    reproduce the marginals exactly up to rounding.  As with
+    :func:`generate_nameserver_population`, an injected ``rng`` takes
+    precedence over ``seed``.
     """
     if not 0 <= accept_minimum_fraction <= accept_any_fraction <= 1:
         raise ValueError("fractions must satisfy 0 <= minimum <= any <= 1")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     indices = list(range(total))
     rng.shuffle(indices)
     accept_any_count = int(round(accept_any_fraction * total))

@@ -68,6 +68,16 @@ class NTPQuerier:
         request = NTPPacket.client_request(transmit_time=origin_time)
         port = self.host.network.simulator.rng.randrange(20000, 60000)
         key = (server_address, port)
+        # Re-draw on a (server, port) collision with an in-flight query:
+        # overwriting the pending entry would orphan its callback (the reply
+        # matches whichever entry holds the key), wedging clients that query
+        # the same server many times concurrently — e.g. panic mode over an
+        # address-counting (dedupe=False) pool.  Collisions are impossible
+        # when concurrent queries target distinct servers, so this loop
+        # consumes no extra draws there.
+        while key in self._pending:
+            port = self.host.network.simulator.rng.randrange(20000, 60000)
+            key = (server_address, port)
         handle = self.host.network.simulator.schedule(
             self.timeout, lambda k=key: self._on_timeout(k))
         self._pending[key] = _PendingQuery(server_address, origin_time, callback, handle)

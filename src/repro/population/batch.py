@@ -1,0 +1,262 @@
+"""Batched per-client Chronos arithmetic: pool composition and selection.
+
+Two pieces of the packet-level model vectorize exactly:
+
+* **Pool composition.**  With address-counting pool generation
+  (``dedupe=False``, the paper's §IV arithmetic), the composition a client
+  ends up with is a *closed form* of the query index ``k`` at which the
+  poisoning landed: the first ``k - 1`` queries contribute benign addresses,
+  the poisoned query contributes the attacker records, and every later query
+  within the malicious TTL is a cache hit that re-delivers (and re-absorbs)
+  the same records.  :func:`batch_pool_composition` evaluates that form for a
+  whole population at once, including the §V mitigations (address cap, TTL
+  discard) and the TTL-expiry regime.  The deduplicating mode is the one
+  place the batch layer is *approximate* (an expected-distinct estimate);
+  the equivalence gate therefore runs ``dedupe=False``, where the closed
+  form is packet-exact.
+
+* **Selection.**  :func:`batch_chronos_select` applies the Chronos rule to a
+  batch of offset rows.  Trimming and the spread check are pure order
+  statistics and vectorize; the survivor *average* is deliberately computed
+  per row with :func:`statistics.mean` (exact rational arithmetic) on both
+  backends, so outcomes match :func:`repro.core.selection.chronos_select`
+  element-wise including at decision boundaries.  The fleet engine's hot
+  path never calls this on raw float rows — it uses the two-point
+  specialization in :mod:`repro.population.engine` — so exactness here costs
+  nothing at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Any, List, Optional, Sequence
+
+from ..core.selection import ChronosConfig, SelectionStatus
+
+#: Defaults mirroring the packet-level testbed (see ``experiments.testbed``).
+DEFAULT_BENIGN_PER_RESPONSE = 4
+DEFAULT_ATTACKER_RECORDS = 89
+DEFAULT_BENIGN_TTL = 150
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """Pool-generation policy of one client cohort, in closed-form terms."""
+
+    query_count: int = 24
+    query_interval: float = 3600.0
+    benign_per_response: int = DEFAULT_BENIGN_PER_RESPONSE
+    attacker_records: int = DEFAULT_ATTACKER_RECORDS
+    #: Size of the benign volunteer population (only the deduplicating
+    #: approximation consults it).
+    benign_servers: int = 200
+    benign_ttl: int = DEFAULT_BENIGN_TTL
+    malicious_ttl: int = 2 * 86400
+    #: ``True`` mirrors the NDSS design (unique addresses, approximated);
+    #: ``False`` mirrors the paper's address-counting arithmetic (exact).
+    dedupe: bool = False
+    #: §V mitigation 1: accept at most this many addresses per response.
+    max_addresses_per_response: Optional[int] = None
+    #: §V mitigation 2: discard responses whose TTL exceeds this bound.
+    max_accepted_ttl: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.query_count < 1:
+            raise ValueError("query_count must be at least 1")
+        if self.query_interval <= 0:
+            raise ValueError("query_interval must be positive")
+        if self.benign_per_response < 0 or self.attacker_records < 0:
+            raise ValueError("record counts cannot be negative")
+
+    def accepted_per_response(self, records: int) -> int:
+        cap = self.max_addresses_per_response
+        return records if cap is None else min(cap, records)
+
+    def ttl_rejected(self, ttl: int) -> bool:
+        return self.max_accepted_ttl is not None and ttl > self.max_accepted_ttl
+
+    def cached_hit_count(self, poison_at_query: int) -> int:
+        """How many of the later queries the poisoned entry answers from cache.
+
+        The entry expires ``malicious_ttl`` seconds after the poisoned query;
+        query ``k + j`` lands ``j * query_interval`` later.  TTLs within a
+        couple of round-trips of a query-grid boundary are ambiguous at the
+        packet level (the real queries drift ~40 ms per round trip); callers
+        wanting packet-exact results keep the TTL clear of the grid.
+        """
+        remaining = self.query_count - poison_at_query
+        if self.malicious_ttl >= remaining * self.query_interval:
+            return remaining
+        return min(remaining, int(self.malicious_ttl // self.query_interval))
+
+    def expected_distinct_benign(self, benign_queries: int) -> int:
+        """Expected distinct servers over ``benign_queries`` rotations.
+
+        The deduplicating approximation: drawing ``r`` of ``B`` servers per
+        query, the expected number of distinct servers after ``q`` queries is
+        ``B * (1 - (1 - r/B)^q)``; rounded half-up so both backends agree.
+        """
+        if benign_queries <= 0 or self.benign_per_response <= 0:
+            return 0
+        accepted = self.accepted_per_response(self.benign_per_response)
+        ratio = 1.0 - accepted / self.benign_servers
+        import math
+
+        expected = self.benign_servers * (1.0 - ratio ** benign_queries)
+        return int(math.floor(expected + 0.5))
+
+
+@dataclass(frozen=True)
+class ClientComposition:
+    """Closed-form pool outcome of one client (ints only — backend-neutral)."""
+
+    poison_at_query: int  # 0 = never poisoned
+    benign: int
+    malicious: int
+    cache_hits: int
+    poisoned_query_count: int
+
+    @property
+    def pool_size(self) -> int:
+        return self.benign + self.malicious
+
+    @property
+    def attacker_has_two_thirds(self) -> bool:
+        return self.pool_size > 0 and self.malicious * 3 >= self.pool_size * 2
+
+    def poisoned_queries(self) -> List[int]:
+        """1-indexed query indices whose accepted records include attacker
+        addresses — the poisoned query plus its cache-hit repeats."""
+        if self.poisoned_query_count == 0:
+            return []
+        start = self.poison_at_query
+        return list(range(start, start + self.poisoned_query_count))
+
+
+def compose_client(policy: FleetPolicy, poison_at_query: int) -> ClientComposition:
+    """The closed-form composition for one client (``0`` = never poisoned)."""
+    benign_accept = policy.accepted_per_response(policy.benign_per_response)
+    if policy.ttl_rejected(policy.benign_ttl):
+        benign_accept = 0
+    if poison_at_query <= 0 or poison_at_query > policy.query_count:
+        if policy.dedupe:
+            benign = policy.expected_distinct_benign(policy.query_count)
+        else:
+            benign = policy.query_count * benign_accept
+        return ClientComposition(0, benign, 0, 0, 0)
+
+    k = poison_at_query
+    hits = policy.cached_hit_count(k)
+    benign_queries = (k - 1) + (policy.query_count - k - hits)
+    if policy.dedupe:
+        benign = policy.expected_distinct_benign(benign_queries)
+    else:
+        benign = benign_queries * benign_accept
+    if policy.ttl_rejected(policy.malicious_ttl):
+        # The poisoned entry still occupies the resolver cache (the resolver
+        # enforces no TTL policy here) so the cache hits happen — but the
+        # client-side mitigation rejects every poisoned response.
+        return ClientComposition(k, benign, 0, hits, 0)
+    accepted = policy.accepted_per_response(policy.attacker_records)
+    deliveries = 1 + hits
+    malicious = accepted if policy.dedupe else accepted * deliveries
+    poisoned_count = deliveries if accepted > 0 else 0
+    return ClientComposition(k, benign, malicious, hits, poisoned_count)
+
+
+def batch_pool_composition(policy: FleetPolicy,
+                           poison_queries: Sequence[int]) -> List[ClientComposition]:
+    """Compositions for a population of per-client poisoning indices.
+
+    The distinct values of ``poison_queries`` number at most
+    ``query_count + 1``, so the closed form is evaluated once per distinct
+    index and fanned out — integer outputs, identical on every backend.
+    """
+    by_k = {}
+    for k in poison_queries:
+        key = int(k)
+        if key not in by_k:
+            by_k[key] = compose_client(policy, key)
+    return [by_k[int(k)] for k in poison_queries]
+
+
+@dataclass
+class BatchSelection:
+    """Element-wise outcomes of a batched selection call."""
+
+    statuses: List[SelectionStatus]
+    offsets: List[Optional[float]]
+
+    def __len__(self) -> int:
+        return len(self.statuses)
+
+    @property
+    def accepted(self) -> List[bool]:
+        return [status is SelectionStatus.OK for status in self.statuses]
+
+
+def _sorted_rows(rows: Sequence[Sequence[float]], np: Optional[Any]) -> List[List[float]]:
+    """Rows sorted ascending; numpy sorts rectangular batches in one call."""
+    if np is not None:
+        array = np.asarray(rows, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError("numpy batch selection requires rectangular rows")
+        return np.sort(array, axis=1).tolist()
+    return [sorted(row) for row in rows]
+
+
+def batch_chronos_select(rows: Sequence[Sequence[float]], config: ChronosConfig,
+                         elapsed_since_update: float = 0.0,
+                         np: Optional[Any] = None) -> BatchSelection:
+    """Apply the Chronos selection rule to every row of offsets.
+
+    Matches :func:`repro.core.selection.chronos_select` element-wise: same
+    statuses, same accepted offsets (the survivor mean is computed with the
+    same exact-arithmetic ``statistics.mean``).
+    """
+    trim = config.trim_count
+    minimum_required = 2 * trim + 1
+    window = config.agreement_window
+    bound = config.local_bound(elapsed_since_update)
+    statuses: List[SelectionStatus] = []
+    offsets: List[Optional[float]] = []
+    for ordered in _sorted_rows(rows, np):
+        if len(ordered) < minimum_required:
+            statuses.append(SelectionStatus.TOO_FEW_SAMPLES)
+            offsets.append(None)
+            continue
+        survivors = ordered[trim:len(ordered) - trim] if trim else ordered
+        spread = survivors[-1] - survivors[0]
+        if spread > window:
+            statuses.append(SelectionStatus.WIDE_SPREAD)
+            offsets.append(None)
+            continue
+        average = mean(survivors)
+        if abs(average) > bound:
+            statuses.append(SelectionStatus.FAR_FROM_LOCAL)
+            offsets.append(None)
+            continue
+        statuses.append(SelectionStatus.OK)
+        offsets.append(average)
+    return BatchSelection(statuses, offsets)
+
+
+def batch_panic_select(rows: Sequence[Sequence[float]],
+                       np: Optional[Any] = None) -> BatchSelection:
+    """Panic mode for every row: trim a third each end, average, no checks.
+
+    Matches :func:`repro.core.selection.panic_select` element-wise.
+    """
+    statuses: List[SelectionStatus] = []
+    offsets: List[Optional[float]] = []
+    for ordered in _sorted_rows(rows, np):
+        trim = len(ordered) // 3
+        survivors = ordered[trim:len(ordered) - trim] if len(ordered) > 2 * trim else ordered
+        if not survivors:
+            statuses.append(SelectionStatus.TOO_FEW_SAMPLES)
+            offsets.append(None)
+            continue
+        statuses.append(SelectionStatus.OK)
+        offsets.append(mean(survivors))
+    return BatchSelection(statuses, offsets)

@@ -1,0 +1,173 @@
+"""The ``population_sweep`` scenario: one fleet cohort per registry task.
+
+A cohort is the unit of scheduling: ``population_specs`` slices a fleet of
+``clients`` global ids into cohorts of at most ``cohort_size`` and returns
+one :class:`~repro.experiments.runner.ExperimentSpec` whose ``param_sets``
+are the cohort slices.  Each task streams its cohort through the
+:class:`~repro.population.engine.FleetEngine` and returns *aggregates only*
+(a few dozen numbers), so a million-client sweep materialises cohort
+summaries — never per-client records — and rides the PR-3
+:class:`~repro.experiments.scheduler.SweepScheduler` / RunCache machinery
+unchanged.  Because every draw is keyed by global client id and resolver
+poisoning is computed population-wide, the cohort decomposition does not
+change any per-client outcome; :func:`combine_cohort_metrics` folds the
+cohort records back into fleet-level totals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.selection import ChronosConfig
+from ..experiments.registry import merge_params, register_scenario
+from ..experiments.runner import ExperimentSpec
+from .batch import FleetPolicy
+from .engine import FleetConfig, FleetEngine
+
+
+def fleet_config_from_params(seed: int, p: Mapping[str, Any]) -> FleetConfig:
+    """Build a :class:`FleetConfig` from flat scenario parameters."""
+    policy = FleetPolicy(
+        query_count=p["query_count"],
+        query_interval=p["query_interval"],
+        benign_per_response=p["benign_per_response"],
+        attacker_records=p["attacker_records"],
+        benign_servers=p["benign_servers"],
+        benign_ttl=p["benign_ttl"],
+        malicious_ttl=p["malicious_ttl"],
+        dedupe=p["dedupe"],
+        max_addresses_per_response=p["max_addresses_per_response"],
+        max_accepted_ttl=p["max_accepted_ttl"],
+    )
+    chronos = ChronosConfig(
+        sample_size=p["sample_size"],
+        err=p["err"],
+        drift_ppm=p["drift_ppm"],
+        max_retries=p["max_retries"],
+        poll_interval=p["poll_interval"],
+    )
+    return FleetConfig(
+        clients=p["clients"],
+        resolvers=p["resolvers"],
+        client_offset=p["client_offset"],
+        population=p["population"],
+        seed=seed,
+        stagger_window=p["stagger_window"],
+        policy=policy,
+        chronos=chronos,
+        hijack_start=p["hijack_start"],
+        hijack_duration=p["hijack_duration"],
+        run_time_shift=p["run_time_shift"],
+        target_shift=p["target_shift"],
+        update_rounds=p["update_rounds"],
+        backend=p["backend"],
+    )
+
+
+@register_scenario
+class PopulationSweepExperiment:
+    """Analytic fleet simulation of the §IV attack at population scale."""
+
+    name = "population_sweep"
+    description = ("vectorized Chronos fleet: staggered clients behind shared "
+                   "resolvers, closed-form pools, two-point update rounds")
+
+    def default_params(self) -> Dict[str, Any]:
+        return {
+            "clients": 1000,
+            "client_offset": 0,
+            "population": None,       # None: client_offset + clients
+            "resolvers": 32,
+            "stagger_window": 86400.0,
+            "query_count": 24,
+            "query_interval": 3600.0,
+            "benign_per_response": 4,
+            "attacker_records": 89,
+            "benign_servers": 200,
+            "benign_ttl": 150,
+            "malicious_ttl": 2 * 86400,
+            "dedupe": False,
+            "max_addresses_per_response": None,
+            "max_accepted_ttl": None,
+            "sample_size": 15,
+            "err": 0.1,
+            "drift_ppm": 10.0,
+            "max_retries": 2,
+            "poll_interval": 3600.0 / 4,
+            "hijack_start": 90000.0,
+            "hijack_duration": 600.0,
+            "run_time_shift": True,
+            "target_shift": 600.0,
+            "update_rounds": 5,
+            # Metrics are backend-independent (bit-identical digests); the
+            # knob only selects the implementation.
+            "backend": "auto",
+        }
+
+    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+        p = merge_params(self.default_params(), params)
+        return FleetEngine(fleet_config_from_params(seed, p)).run()
+
+
+def population_specs(clients: int, cohort_size: int,
+                     seeds: Tuple[int, ...] = (1,),
+                     base_params: Optional[Mapping[str, Any]] = None,
+                     ) -> List[ExperimentSpec]:
+    """Shard a fleet into cohort tasks for the :class:`SweepScheduler`.
+
+    Returns a single spec whose ``param_sets`` cover global client ids
+    ``[0, clients)`` in slices of at most ``cohort_size``, each pinned to the
+    full ``population`` so poisoning propagation sees the whole fleet.
+    """
+    if clients < 0:
+        raise ValueError("clients cannot be negative")
+    if cohort_size < 1:
+        raise ValueError("cohort_size must be at least 1")
+    overlays: List[Mapping[str, Any]] = []
+    for offset in range(0, max(clients, 1), cohort_size):
+        size = min(cohort_size, clients - offset)
+        if size <= 0:
+            size, offset = clients, 0
+        overlays.append({"clients": size, "client_offset": offset,
+                         "population": clients})
+    return [ExperimentSpec(scenario="population_sweep", seeds=tuple(seeds),
+                           base_params=dict(base_params or {}),
+                           param_sets=tuple(overlays))]
+
+
+#: Metric keys that combine across cohorts by integer summation.
+_SUM_KEYS = ("clients", "clients_poisoned", "pool_benign_total",
+             "pool_malicious_total", "cache_hits_total",
+             "clients_attacker_two_thirds", "updates_run_total",
+             "panic_rounds_total", "clients_shift_achieved")
+_FSUM_KEYS = ("attacker_fraction_sum", "achieved_shift_sum")
+
+
+def combine_cohort_metrics(metrics: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Fold cohort aggregates (same fleet, same seed) into fleet totals."""
+    cohorts = list(metrics)
+    if not cohorts:
+        return {}
+    combined: Dict[str, Any] = {}
+    for key in _SUM_KEYS:
+        if key in cohorts[0]:
+            combined[key] = sum(m[key] for m in cohorts)
+    for key in _FSUM_KEYS:
+        if key in cohorts[0]:
+            combined[key] = math.fsum(m[key] for m in cohorts)
+    histogram = [0] * len(cohorts[0]["poison_histogram"])
+    for m in cohorts:
+        for index, count in enumerate(m["poison_histogram"]):
+            histogram[index] += count
+    combined["poison_histogram"] = histogram
+    for key in ("population", "resolvers", "poisoned_resolvers"):
+        combined[key] = cohorts[0][key]
+    clients = combined["clients"]
+    if clients:
+        combined["mean_attacker_fraction"] = (
+            combined["attacker_fraction_sum"] / clients)
+        if "achieved_shift_sum" in combined:
+            combined["mean_achieved_shift"] = (
+                combined["achieved_shift_sum"] / clients)
+    return combined

@@ -164,6 +164,28 @@ def test_foreign_garbage_lines_are_skipped(cache, tmp_path):
     assert damaged.stats.corrupt_lines == 2
 
 
+def test_duplicated_lines_collapse_to_a_single_entry(cache, tmp_path):
+    """A crash-looped writer re-appending the same cell (duplicate key) must
+    replay as one entry, last write wins, with the duplicates accounted."""
+    record = make_record(seed=12)
+    cache.put(record)
+    (shard_file,) = (tmp_path / "store").glob("runs-*.jsonl")
+    line = [raw for raw in shard_file.read_bytes().splitlines() if raw.strip()][0]
+    with open(shard_file, "ab") as handle:
+        handle.write(line + b"\n" + line + b"\n")
+    reopened = RunCache(tmp_path / "store")
+    replayed = reopened.get("synthetic", 12, record.params)
+    assert replayed is not None
+    assert replayed.metrics == record.metrics
+    assert len(reopened) == 1
+    assert reopened.stats.duplicate_lines == 2
+    assert "2 duplicate lines collapsed" in reopened.stats.formatted()
+    # Distinct keys are unaffected by the accounting.
+    cache.put(make_record(seed=13))
+    fresh = RunCache(tmp_path / "store")
+    assert fresh.get("synthetic", 13, make_record(seed=13).params) is not None
+
+
 # -- concurrent writers --------------------------------------------------------
 
 def _writer(args):

@@ -112,6 +112,48 @@ def test_scheduler_rejects_bad_worker_count():
         SweepScheduler(workers=0)
 
 
+# -- progress reporting ---------------------------------------------------------
+
+def test_on_progress_reports_every_inline_task():
+    calls = []
+    spec = ExperimentSpec(scenario="bgp_hijack", seeds=(1, 2, 3),
+                          base_params=CHEAP_BGP)
+    _, stats = SweepScheduler(workers=1,
+                              on_progress=lambda done, total:
+                              calls.append((done, total))).run_specs([spec])
+    assert stats.executed_inline
+    assert calls == [(1, 3), (2, 3), (3, 3)]
+
+
+def test_on_progress_reports_pooled_chunks_and_cache_replay(tmp_path):
+    spec = ExperimentSpec(scenario="bgp_hijack", seeds=(1, 2, 3, 4, 5, 6),
+                          base_params=CHEAP_BGP)
+    SweepScheduler(workers=1, cache=RunCache(tmp_path / "rc")).run_specs([spec])
+
+    calls = []
+    warm = SweepScheduler(workers=2, cache=RunCache(tmp_path / "rc"),
+                          on_progress=lambda done, total:
+                          calls.append((done, total)))
+    _, stats = warm.run_specs([spec])
+    # Everything replays from the cache: one batch report, no execution.
+    assert stats.cache_hits == 6 and stats.executed == 0
+    assert calls == [(6, 6)]
+
+    cold_calls = []
+    _, cold_stats = SweepScheduler(workers=2,
+                                   on_progress=lambda done, total:
+                                   cold_calls.append((done, total))
+                                   ).run_specs([spec])
+    # Pooled path: one report per completed chunk, monotonically increasing
+    # regardless of completion order, ending at the full stream.
+    assert not cold_stats.executed_inline
+    assert len(cold_calls) == cold_stats.chunks
+    assert all(total == 6 for _, total in cold_calls)
+    assert [done for done, _ in cold_calls] == sorted(
+        done for done, _ in cold_calls)
+    assert cold_calls[-1] == (6, 6)
+
+
 # -- cache integration ---------------------------------------------------------
 
 def test_partial_cache_mixes_hits_and_computed_records(tmp_path):
