@@ -10,7 +10,7 @@ pytest captures it.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterable
+from collections.abc import Iterable
 
 
 def emit(title: str, lines: Iterable[str]) -> None:

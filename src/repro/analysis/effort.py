@@ -13,8 +13,9 @@ a traditional NTP client with its single lookup.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
 from ..core.security_analysis import (
     CumulativeShiftBound,
@@ -60,14 +61,14 @@ def _row(scenario: str, bound: ShiftAttackBound) -> EffortRow:
 
 
 def chronos_security_bound_table(pool_size: int = 96, sample_size: int = 15,
-                                 poll_interval: float = 900.0) -> List[EffortRow]:
+                                 poll_interval: float = 900.0) -> list[EffortRow]:
     """E3: expected effort across attacker pool fractions.
 
     The pre-attack rows (fractions below one third) should land in the
     years-to-decades regime the Chronos paper claims; the post-DNS-attack row
     (two thirds) should collapse to a round or two.
     """
-    rows: List[EffortRow] = []
+    rows: list[EffortRow] = []
     scenarios = [
         ("MitM, 10% of pool corrupted", 0.10),
         ("MitM, 25% of pool corrupted", 0.25),
@@ -84,7 +85,7 @@ def chronos_security_bound_table(pool_size: int = 96, sample_size: int = 15,
 
 def fraction_sweep_table(pool_size: int = 96, sample_size: int = 15,
                          poll_interval: float = 900.0,
-                         fractions: Optional[Sequence[float]] = None) -> List[EffortRow]:
+                         fractions: Optional[Sequence[float]] = None) -> list[EffortRow]:
     """Fine-grained sweep of expected years versus attacker pool fraction."""
     if fractions is None:
         fractions = [i / 20.0 for i in range(0, 15)]
@@ -132,7 +133,7 @@ def _shift_row(scenario: str, bound: CumulativeShiftBound, pool_size: int,
 
 def shift_effort_table(target_shift: float = 0.1, per_round_shift: float = 0.025,
                        pool_size: int = 96, sample_size: int = 15,
-                       poll_interval: float = 900.0) -> List[ShiftEffortRow]:
+                       poll_interval: float = 900.0) -> list[ShiftEffortRow]:
     """E3: expected effort to shift the victim clock by ``target_shift`` seconds.
 
     The pre-attack rows (attacker below one third of the pool) land in the
@@ -148,7 +149,7 @@ def shift_effort_table(target_shift: float = 0.1, per_round_shift: float = 0.025
         ("After DNS pool attack (2/3 of pool)", (2 * pool_size) // 3 + 1),
         ("After DNS pool attack (89 of 133)", None),
     ]
-    rows: List[ShiftEffortRow] = []
+    rows: list[ShiftEffortRow] = []
     for label, malicious in scenarios:
         size = pool_size
         if malicious is None:
@@ -184,7 +185,7 @@ class DNSAttackComparisonRow:
 
 
 def dns_attack_comparison(query_count: int = 24,
-                          latest_winning_query: int = 12) -> List[DNSAttackComparisonRow]:
+                          latest_winning_query: int = 12) -> list[DNSAttackComparisonRow]:
     """E6: the paper's argument that Chronos is the easier DNS target.
 
     A traditional client resolves the pool name once (one chance, and the
@@ -222,7 +223,7 @@ def poisoning_success_probability(per_query_success: float, opportunities: int) 
 
 
 def end_to_end_success_table(per_query_success_rates: Sequence[float] = (0.05, 0.1, 0.3, 0.7),
-                             chronos_opportunities: int = 12) -> List[dict]:
+                             chronos_opportunities: int = 12) -> list[dict]:
     """E6 extension: end-to-end success probability vs per-race success rate.
 
     For every per-race poisoning success probability, compare the overall

@@ -15,7 +15,7 @@ of that, both in closed form and on the packet-level scenario.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..core.pool_generation import PoolComposition
 from ..dns.nameserver import POOL_RECORDS_PER_RESPONSE
@@ -59,7 +59,7 @@ def _row(scenario: str, composition: PoolComposition, mode: str) -> MitigationRo
 def analytic_mitigation_table(query_count: int = 24, poison_at_query: int = 1,
                               attacker_records: int = 89,
                               benign_per_response: int = POOL_RECORDS_PER_RESPONSE,
-                              ) -> List[MitigationRow]:
+                              ) -> list[MitigationRow]:
     """Closed-form evaluation of each mitigation against a single poisoning.
 
     * No mitigation: one poisoned response floods the pool (the §IV attack).
@@ -73,7 +73,7 @@ def analytic_mitigation_table(query_count: int = 24, poison_at_query: int = 1,
       generation window is attacker-controlled, so the pool is 100 % malicious
       regardless of the caps — the residual risk §V concedes.
     """
-    rows: List[MitigationRow] = []
+    rows: list[MitigationRow] = []
 
     benign_before = (poison_at_query - 1) * benign_per_response
 
@@ -125,7 +125,7 @@ MITIGATION_CASES = (
 
 
 def simulated_mitigation_table(poison_at_query: int = 1, seed: int = 1,
-                               workers: int = 1) -> List[MitigationRow]:
+                               workers: int = 1) -> list[MitigationRow]:
     """Packet-level evaluation of the mitigations (slower, used by the bench).
 
     Driven through the experiment runner: one ``chronos_pool_attack`` run per
@@ -200,7 +200,7 @@ class Section5CellComparison:
                 f"frac={fraction} agree={self.verdict_agrees and self.fraction_agrees}")
 
 
-def section5_from_matrix(matrix: DefenseMatrixResult) -> List[Section5CellComparison]:
+def section5_from_matrix(matrix: DefenseMatrixResult) -> list[Section5CellComparison]:
     """Line the §V analytic table up against its defense-matrix cell slice.
 
     The matrix must contain the ``chronos_poisoning`` / ``chronos_24h_hijack``

@@ -10,8 +10,8 @@ same condition model as the measurement study.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence
 
 from ..attacks.frag_poisoning import (
     FragmentationAttackConditions,
@@ -67,7 +67,7 @@ def feasibility_row(nameserver: NameserverProfile, resolver: ResolverProfile,
 
 def mtu_sweep(mtus: Sequence[int] = (1500, 1400, 1280, 548, 296, 68),
               probe_record_count: int = 40,
-              qname: str = "pool.ntp.org") -> List[VectorFeasibilityRow]:
+              qname: str = "pool.ntp.org") -> list[VectorFeasibilityRow]:
     """Feasibility of the fragmentation vector versus nameserver MTU behaviour."""
     resolver = ResolverProfile(identifier="victim", min_accepted_fragment_mtu=68,
                                triggerable_via_smtp=True, open_resolver=False)

@@ -12,8 +12,9 @@ least two-thirds of the Chronos pool.  Two modes:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
 from ..attacks.chronos_pool_attack import analytic_pool_composition
 from ..core.pool_generation import PoolComposition
@@ -57,7 +58,7 @@ def _row_from_composition(poison_at_query: Optional[int], composition: PoolCompo
 
 def analytic_sweep(query_count: int = 24, benign_per_response: int = 4,
                    attacker_records: int = 89,
-                   indices: Optional[Sequence[int]] = None) -> List[PoolCompositionRow]:
+                   indices: Optional[Sequence[int]] = None) -> list[PoolCompositionRow]:
     """Closed-form sweep over every candidate poisoning index (plus no attack)."""
     if indices is None:
         indices = range(1, query_count + 1)
@@ -98,7 +99,7 @@ def simulated_composition(poison_at_query: Optional[int], seed: int = 1,
 
 
 def simulated_sweep(indices: Sequence[int], seed: int = 1,
-                    dedupe: bool = True) -> List[PoolCompositionRow]:
+                    dedupe: bool = True) -> list[PoolCompositionRow]:
     """Packet-level sweep over selected poisoning indices."""
     rows = [simulated_composition(None, seed=seed, dedupe=dedupe)]
     for index in indices:

@@ -9,8 +9,8 @@ fragmentation thresholds the measurement study probes).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence
 
 from ..dns.message import (
     CLASSIC_UDP_LIMIT,
@@ -62,7 +62,7 @@ def capacity_row(payload_limit: int, qname: str = "pool.ntp.org") -> CapacityRow
 
 
 def capacity_table(payload_limits: Sequence[int] = INTERESTING_PAYLOAD_LIMITS,
-                   qname: str = "pool.ntp.org") -> List[CapacityRow]:
+                   qname: str = "pool.ntp.org") -> list[CapacityRow]:
     """The full capacity table for the E5 benchmark."""
     return [capacity_row(limit, qname) for limit in payload_limits]
 

@@ -18,8 +18,9 @@ question) with a TTL longer than the 24-hour pool-generation window.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Optional
 
 from ..dns.message import MAX_UNFRAGMENTED_UDP_PAYLOAD, DNSMessage, max_a_records_for_payload
 from ..dns.nameserver import DNS_PORT, AuthoritativeNameserver
@@ -106,13 +107,13 @@ class AttackerInfrastructure:
     """The attacker's own servers inside the simulation."""
 
     network: Network
-    ntp_servers: List[MaliciousNTPServer] = field(default_factory=list)
+    ntp_servers: list[MaliciousNTPServer] = field(default_factory=list)
     nameserver: Optional[ImpersonatingNameserver] = None
     malicious_ttl: int = DEFAULT_MALICIOUS_TTL
     capabilities: AttackerCapabilities = field(default_factory=AttackerCapabilities)
 
     @property
-    def ntp_addresses(self) -> List[str]:
+    def ntp_addresses(self) -> list[str]:
         return [server.address for server in self.ntp_servers]
 
     def set_time_shift(self, shift_seconds: float) -> None:
@@ -120,7 +121,7 @@ class AttackerInfrastructure:
         for server in self.ntp_servers:
             server.time_shift = shift_seconds
 
-    def malicious_answer_records(self, qname: str) -> List[ResourceRecord]:
+    def malicious_answer_records(self, qname: str) -> list[ResourceRecord]:
         """The A records the attacker injects for ``qname``."""
         return [a_record(qname, address, self.malicious_ttl) for address in self.ntp_addresses]
 

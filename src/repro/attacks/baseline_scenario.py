@@ -17,7 +17,7 @@ but drives a :class:`repro.ntp.client.TraditionalNTPClient`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..defenses.stack import DefenseSpec
 from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE
@@ -52,7 +52,7 @@ class BaselineAttackConfig:
 class BaselineAttackResult:
     """Outcome of the baseline attack."""
 
-    servers_used: List[str]
+    servers_used: list[str]
     malicious_servers_used: int
     target_shift: float
     achieved_error: float

@@ -12,7 +12,7 @@ the forged records (many addresses, huge TTL) enter the cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..defenses.stack import DefenseSpec
 from ..dns.records import RecordType
@@ -40,7 +40,7 @@ class BGPHijackPoisoner:
         self.attacker = attacker
         self.target_nameserver = target_nameserver
         self.zone_name = zone_name
-        self.windows: List[HijackWindow] = []
+        self.windows: list[HijackWindow] = []
         self._active = False
         records = attacker.malicious_answer_records(zone_name)
         self.nameserver = ImpersonatingNameserver(

@@ -22,7 +22,7 @@ provided; the benchmarks cross-check one against the other.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 from ..core.chronos_client import ChronosClient
 from ..core.pool_generation import GeneratedPool, PoolComposition, PoolGenerationPolicy
@@ -75,7 +75,7 @@ class PoolAttackResult:
 
     pool: GeneratedPool
     composition: PoolComposition
-    poisoned_queries: List[int]
+    poisoned_queries: list[int]
     cache_hits_during_generation: int
     config: PoolAttackConfig
 
@@ -97,7 +97,7 @@ class TimeShiftResult:
     achieved_error: float
     updates_run: int
     panic_rounds: int
-    applied_offsets: List[float]
+    applied_offsets: list[float]
 
     @property
     def shift_achieved(self) -> bool:
@@ -165,7 +165,7 @@ class ChronosPoolAttackScenario:
     def run_pool_generation(self) -> PoolAttackResult:
         """Run the 24-hour pool-generation window (with the attack, if any)."""
         self._schedule_poisoning()
-        completed: List[GeneratedPool] = []
+        completed: list[GeneratedPool] = []
         self.client.pool_generator.generate(completed.append)
         total_window = (self.config.pool_policy.query_count
                         * self.config.pool_policy.query_interval + 300.0)

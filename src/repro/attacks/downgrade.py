@@ -28,8 +28,9 @@ plaintext anyway and the scenario degenerates to the fragmentation race.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..defenses.stack import DefenseSpec
 from ..dns.message import DNSMessage

@@ -27,7 +27,7 @@ in the trailing fragment(s).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Optional
 
 from ..defenses.hardening import DNSCookies
 from ..defenses.stack import DefenseSpec
@@ -89,7 +89,7 @@ class FragmentationAttackReport:
     ipid_hit: bool = False
     checksum_valid: bool = False
     cache_poisoned: bool = False
-    injected_addresses: List[str] = field(default_factory=list)
+    injected_addresses: list[str] = field(default_factory=list)
 
 
 class FragmentationPoisoner:
@@ -114,7 +114,7 @@ class FragmentationPoisoner:
         #: contribution matches); when False the splice is detected by the
         #: checksum and the poisoning fails.
         self.checksum_oracle = checksum_oracle
-        self.reports: List[FragmentationAttackReport] = []
+        self.reports: list[FragmentationAttackReport] = []
 
     # -- crafting ----------------------------------------------------------------
     def _forged_response_like(self, benign: DNSMessage) -> DNSMessage:
@@ -141,7 +141,7 @@ class FragmentationPoisoner:
 
     def craft_spoofed_fragments(self, benign_response: DNSMessage, udp_src_port: int,
                                 udp_dst_port: int, ip_id: int,
-                                mtu: Optional[int] = None) -> List[IPPacket]:
+                                mtu: Optional[int] = None) -> list[IPPacket]:
         """Build the spoofed trailing fragments for one predicted IP-ID."""
         mtu = mtu or self.nameserver.min_supported_mtu
         forged = self._forged_response_like(benign_response)

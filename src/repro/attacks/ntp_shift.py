@@ -11,7 +11,7 @@ experiments can measure the shift actually achieved on the victim clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..core.chronos_client import ChronosClient
 from ..core.selection import ChronosConfig, chronos_select
@@ -99,7 +99,7 @@ def chronos_round_offset(model: OfflineShiftModel, config: Optional[ChronosConfi
 
 def ntpd_round_offset(model: OfflineShiftModel) -> Optional[float]:
     """Offset the baseline ntpd pipeline adopts for the given sample mix."""
-    samples: List[TimeSample] = []
+    samples: list[TimeSample] = []
     honest = model.sample_size - model.malicious_samples
     for index in range(honest):
         samples.append(TimeSample(server=f"honest-{index}",

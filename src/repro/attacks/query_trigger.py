@@ -12,7 +12,7 @@ spoofed fragments immediately before a query it knows is coming.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..dns.resolver import DNSStub, RecursiveResolver
 from ..netsim.network import Host, Network
@@ -42,7 +42,7 @@ class SMTPTriggerServer(Host):
                  name: Optional[str] = None) -> None:
         super().__init__(network, address, name=name or f"smtp-{address}")
         self.dns = DNSStub(self, resolver_address)
-        self.triggers: List[TriggerRecord] = []
+        self.triggers: list[TriggerRecord] = []
 
     def handle_datagram(self, datagram: UDPDatagram) -> None:
         if self.dns.handle_datagram(datagram):
@@ -67,7 +67,7 @@ class QueryTrigger:
         self.resolver = resolver
         self.smtp_server = smtp_server
         self.attacker_address = attacker_address
-        self.records: List[TriggerRecord] = []
+        self.records: list[TriggerRecord] = []
 
     def trigger_via_open_resolver(self, name: str) -> bool:
         """Query the resolver directly; works only if it is an open resolver."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 from ..defenses.stack import DefenseStack
 from ..dns.resolver import DNSStub
@@ -45,8 +45,8 @@ class ChronosUpdateRecord:
     """Diagnostics for one Chronos update round (including retries)."""
 
     started_at: float
-    sampled_servers: List[str] = field(default_factory=list)
-    samples: List[TimeSample] = field(default_factory=list)
+    sampled_servers: list[str] = field(default_factory=list)
+    samples: list[TimeSample] = field(default_factory=list)
     attempts: int = 0
     outcome: Optional[UpdateOutcome] = None
     applied_offset: Optional[float] = None
@@ -77,7 +77,7 @@ class ChronosClient(Host):
                                                    defenses=defenses)
         self.hostname = hostname
         self.pool: Optional[GeneratedPool] = None
-        self.update_history: List[ChronosUpdateRecord] = []
+        self.update_history: list[ChronosUpdateRecord] = []
         self.error_trace = ClockErrorTrace()
         self.panic_count = 0
         self.started = False
@@ -204,7 +204,7 @@ class ChronosClient(Host):
 
     # -- reporting ---------------------------------------------------------------
     @property
-    def applied_updates(self) -> List[ChronosUpdateRecord]:
+    def applied_updates(self) -> list[ChronosUpdateRecord]:
         return [record for record in self.update_history if record.applied_offset is not None]
 
     @property

@@ -21,8 +21,9 @@ effect can be measured.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Optional
 
 from ..defenses.base import HIGH_TTL_REASON, PoolAcceptContext
 from ..defenses.pool import pool_policy_defenses
@@ -68,8 +69,8 @@ class PoolQueryRecord:
 
     index: int
     issued_at: float
-    addresses: List[str] = field(default_factory=list)
-    accepted_addresses: List[str] = field(default_factory=list)
+    addresses: list[str] = field(default_factory=list)
+    accepted_addresses: list[str] = field(default_factory=list)
     min_ttl: Optional[int] = None
     rejected_high_ttl: bool = False
     failed: bool = False
@@ -79,8 +80,8 @@ class PoolQueryRecord:
 class GeneratedPool:
     """The outcome of a full pool-generation run."""
 
-    servers: List[str]
-    queries: List[PoolQueryRecord]
+    servers: list[str]
+    queries: list[PoolQueryRecord]
     started_at: float
     completed_at: float
 
@@ -88,7 +89,7 @@ class GeneratedPool:
     def size(self) -> int:
         return len(self.servers)
 
-    def composition(self, malicious: Sequence[str]) -> "PoolComposition":
+    def composition(self, malicious: Sequence[str]) -> PoolComposition:
         """Split the pool against a known set of attacker addresses."""
         malicious_set = set(malicious)
         bad = [server for server in self.servers if server in malicious_set]
@@ -138,8 +139,8 @@ class ChronosPoolGenerator:
         self.policy = policy or PoolGenerationPolicy()
         self.defenses = defenses
         self._policy_defenses = DefenseStack(pool_policy_defenses(self.policy))
-        self.queries: List[PoolQueryRecord] = []
-        self._servers: List[str] = []
+        self.queries: list[PoolQueryRecord] = []
+        self._servers: list[str] = []
         self._seen = set()
         self._callback: Optional[PoolCallback] = None
         self._started_at: Optional[float] = None
@@ -159,7 +160,7 @@ class ChronosPoolGenerator:
         self._issue_query(0)
 
     @property
-    def partial_pool(self) -> List[str]:
+    def partial_pool(self) -> list[str]:
         """Servers accumulated so far (useful for mid-run inspection)."""
         return list(self._servers)
 

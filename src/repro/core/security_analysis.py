@@ -23,8 +23,9 @@ that the DNS route makes attacking Chronos easier than attacking plain NTP.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
 SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
 
@@ -142,7 +143,7 @@ def years_of_effort(pool_size: int, malicious_servers: int, sample_size: int = 1
 
 def sweep_malicious_fraction(pool_size: int, sample_size: int,
                              fractions: Sequence[float],
-                             poll_interval: float = 900.0) -> List[ShiftAttackBound]:
+                             poll_interval: float = 900.0) -> list[ShiftAttackBound]:
     """Evaluate the bound across attacker pool fractions (for E3/E6 plots)."""
     bounds = []
     for fraction in fractions:

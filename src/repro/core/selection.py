@@ -24,9 +24,10 @@ paper's DNS attack destroys.
 from __future__ import annotations
 
 import enum
+from collections.abc import Sequence
 from dataclasses import dataclass
 from statistics import mean
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional
 
 
 class ChronosConfigError(ValueError):
@@ -107,15 +108,15 @@ class ChronosSelectionResult:
 
     status: SelectionStatus
     offset: Optional[float]
-    surviving_offsets: Tuple[float, ...]
-    discarded_offsets: Tuple[float, ...]
+    surviving_offsets: tuple[float, ...]
+    discarded_offsets: tuple[float, ...]
 
     @property
     def accepted(self) -> bool:
         return self.status is SelectionStatus.OK
 
 
-def trim_offsets(offsets: Sequence[float], trim_count: int) -> Tuple[List[float], List[float]]:
+def trim_offsets(offsets: Sequence[float], trim_count: int) -> tuple[list[float], list[float]]:
     """Order offsets and drop ``trim_count`` from each end.
 
     Returns ``(survivors, discarded)``.

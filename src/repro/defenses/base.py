@@ -32,7 +32,7 @@ Every hook must draw randomness exclusively from the context's simulator RNG
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 if TYPE_CHECKING:  # only for annotations; keeps this module import-cycle-free
     import random
@@ -57,8 +57,8 @@ class QueryContext:
     transaction_id: int
     source_port: int
     nameserver_address: str
-    rng: "random.Random"
-    state: Dict[str, Any] = field(default_factory=dict)
+    rng: random.Random
+    state: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -71,10 +71,10 @@ class ResponseContext:
     """
 
     response: DNSMessage
-    datagram: "UDPDatagram"
+    datagram: UDPDatagram
     query: QueryContext
     poisoned: bool
-    answers: List[ResourceRecord]
+    answers: list[ResourceRecord]
 
 
 #: Reason string used by high-TTL discards; the pool generator translates it
@@ -86,7 +86,7 @@ HIGH_TTL_REASON = "high-ttl"
 class PoolAcceptContext:
     """One pool-generation response on its way into the Chronos pool."""
 
-    addresses: List[str]
+    addresses: list[str]
     min_ttl: Optional[int]
     response: Optional[DNSMessage] = None
     rejected_by: Optional[str] = None
@@ -109,10 +109,10 @@ class Defense:
     name = "defense"
 
     # -- testbed lifecycle ---------------------------------------------------
-    def configure_testbed(self, config: "TestbedConfig") -> None:
+    def configure_testbed(self, config: TestbedConfig) -> None:
         """Adjust the declarative world description before it is built."""
 
-    def attach_testbed(self, testbed: "Testbed") -> None:
+    def attach_testbed(self, testbed: Testbed) -> None:
         """Capture runtime state from the built world."""
 
     # -- resolver-side hooks ---------------------------------------------------
@@ -127,7 +127,7 @@ class Defense:
     def on_pool_accept(self, ctx: PoolAcceptContext) -> None:
         """Filter the addresses one response contributes to the pool."""
 
-    def on_ntp_sample(self, sample: "TimeSample") -> Optional[str]:
+    def on_ntp_sample(self, sample: TimeSample) -> Optional[str]:
         """Veto an NTP sample; return a reason string to drop it."""
         return None
 

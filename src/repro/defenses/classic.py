@@ -12,7 +12,7 @@ so existing policy-driven configurations behave exactly as before.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Optional
 
 from .base import Defense, QueryContext, ResponseContext
 from .registry import register_defense
@@ -119,7 +119,7 @@ class CacheTTLCap(Defense):
         return None
 
 
-def default_resolver_defenses(policy: "ResolverPolicy") -> List[Defense]:
+def default_resolver_defenses(policy: ResolverPolicy) -> list[Defense]:
     """The stack prefix equivalent to a :class:`ResolverPolicy`.
 
     Ordering is load-bearing twice over: the transaction id is drawn before
@@ -127,7 +127,7 @@ def default_resolver_defenses(policy: "ResolverPolicy") -> List[Defense]:
     so seeded experiments reproduce bit-for-bit), and response matching runs
     before any capping defense.
     """
-    defenses: List[Defense] = []
+    defenses: list[Defense] = []
     if policy.randomise_source_port:
         defenses.append(RandomTransactionID())
         defenses.append(RandomSourcePort())

@@ -74,7 +74,7 @@ class DNSCookies(Defense):
     def __init__(self) -> None:
         self._salt = "cookie-secret|unattached"
 
-    def attach_testbed(self, testbed: "Testbed") -> None:
+    def attach_testbed(self, testbed: Testbed) -> None:
         # Deterministic per (resolver, seed); secret by convention — no
         # attacker code ever reads it.
         self._salt = f"cookie-secret|{testbed.resolver.address}|{testbed.config.seed}"
@@ -111,7 +111,7 @@ class PMTUFloor(Defense):
     def __init__(self, floor: int = 1500) -> None:
         self.floor = floor
 
-    def configure_testbed(self, config: "TestbedConfig") -> None:
+    def configure_testbed(self, config: TestbedConfig) -> None:
         config.nameserver_min_mtu = max(config.nameserver_min_mtu, self.floor)
 
 
@@ -132,13 +132,13 @@ class ResponseSigning(Defense):
     def __init__(self) -> None:
         self._zone_key: Optional[str] = None
 
-    def configure_testbed(self, config: "TestbedConfig") -> None:
+    def configure_testbed(self, config: TestbedConfig) -> None:
         if config.zone_key is None:
             config.zone_key = f"zsk|{config.zone}|{config.seed}"
         config.nameserver_dnssec = True
         self._zone_key = config.zone_key
 
-    def attach_testbed(self, testbed: "Testbed") -> None:
+    def attach_testbed(self, testbed: Testbed) -> None:
         self._zone_key = testbed.config.zone_key
 
     def on_incoming_response(self, ctx: ResponseContext) -> Optional[str]:

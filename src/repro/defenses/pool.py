@@ -19,7 +19,7 @@ survives every pool-side defense.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..dns.records import RecordType
 from .base import HIGH_TTL_REASON, Defense, PoolAcceptContext, ResponseContext
@@ -93,7 +93,7 @@ class MultiVantageCrossCheck(Defense):
         self._expected_count: Optional[int] = None
         self._expected_ttl: Optional[int] = None
 
-    def attach_testbed(self, testbed: "Testbed") -> None:
+    def attach_testbed(self, testbed: Testbed) -> None:
         self._expected_count = testbed.nameserver.records_per_response
         self._expected_ttl = testbed.nameserver.ttl
 
@@ -136,20 +136,20 @@ class MultiVantageCrossCheck(Defense):
         if reason is not None:
             ctx.discard(self.name, reason)
 
-    def on_ntp_sample(self, sample: "TimeSample") -> Optional[str]:
+    def on_ntp_sample(self, sample: TimeSample) -> Optional[str]:
         if abs(sample.offset) > self.max_sample_offset:
             return (f"sample offset {sample.offset:.1f}s contradicts the "
                     f"vantage reference clocks")
         return None
 
 
-def pool_policy_defenses(policy: "PoolGenerationPolicy") -> List[Defense]:
+def pool_policy_defenses(policy: PoolGenerationPolicy) -> list[Defense]:
     """The defense instances equivalent to a policy's §V mitigation knobs.
 
     TTL discard runs before the address cap, preserving the acceptance
     order of the pre-refactor pool generator.
     """
-    defenses: List[Defense] = []
+    defenses: list[Defense] = []
     if policy.max_accepted_ttl is not None:
         defenses.append(HighTTLDiscard(policy.max_accepted_ttl))
     if policy.max_addresses_per_response is not None:

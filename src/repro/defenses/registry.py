@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import importlib
 import sys
-from typing import Callable, Dict
+from collections.abc import Callable
 
 from .base import Defense
 
 DefenseFactory = Callable[[], Defense]
 
-_REGISTRY: Dict[str, DefenseFactory] = {}
+_REGISTRY: dict[str, DefenseFactory] = {}
 
 #: Modules imported on first lookup; importing them registers the builtins.
 _BUILTIN_MODULES = (
@@ -81,7 +81,7 @@ def build_defense(name: str) -> Defense:
     return factory()
 
 
-def available_defenses() -> Dict[str, str]:
+def available_defenses() -> dict[str, str]:
     """Mapping of every registered defense name to its docstring headline."""
     _load_builtins()
     return {name: (factory.__doc__ or "").strip().splitlines()[0]

@@ -13,7 +13,8 @@ matrix byte-reproducible across worker counts.
 from __future__ import annotations
 
 from collections import Counter
-from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Optional, Union
 
 from .base import Defense, PoolAcceptContext, QueryContext, ResponseContext
 
@@ -29,12 +30,12 @@ class DefenseStack:
     """An ordered, deterministically-composed set of defenses."""
 
     def __init__(self, defenses: Iterable[Defense] = ()) -> None:
-        self.defenses: List[Defense] = list(defenses)
+        self.defenses: list[Defense] = list(defenses)
         #: defense name -> number of responses/samples it rejected.
         self.rejections: Counter = Counter()
 
     @classmethod
-    def from_spec(cls, spec: DefenseSpec) -> "DefenseStack":
+    def from_spec(cls, spec: DefenseSpec) -> DefenseStack:
         """Build a stack from registry names and/or defense instances."""
         from .registry import build_defense
 
@@ -49,22 +50,22 @@ class DefenseStack:
         return len(self.defenses)
 
     @property
-    def names(self) -> Tuple[str, ...]:
+    def names(self) -> tuple[str, ...]:
         return tuple(defense.name for defense in self.defenses)
 
     def has(self, name: str) -> bool:
         return name in self.names
 
-    def extended(self, defenses: Iterable[Defense]) -> "DefenseStack":
+    def extended(self, defenses: Iterable[Defense]) -> DefenseStack:
         """A new stack with ``defenses`` appended (rejection counters fresh)."""
         return DefenseStack([*self.defenses, *defenses])
 
     # -- lifecycle dispatch -----------------------------------------------------
-    def configure_testbed(self, config: "TestbedConfig") -> None:
+    def configure_testbed(self, config: TestbedConfig) -> None:
         for defense in self.defenses:
             defense.configure_testbed(config)
 
-    def attach_testbed(self, testbed: "Testbed") -> None:
+    def attach_testbed(self, testbed: Testbed) -> None:
         for defense in self.defenses:
             defense.attach_testbed(testbed)
 
@@ -73,7 +74,7 @@ class DefenseStack:
         for defense in self.defenses:
             defense.on_outgoing_query(ctx)
 
-    def on_incoming_response(self, ctx: ResponseContext) -> Optional[Tuple[str, str]]:
+    def on_incoming_response(self, ctx: ResponseContext) -> Optional[tuple[str, str]]:
         """First rejection wins; returns ``(defense name, reason)`` or None."""
         for defense in self.defenses:
             reason = defense.on_incoming_response(ctx)
@@ -91,7 +92,7 @@ class DefenseStack:
                 break
         return ctx
 
-    def on_ntp_sample(self, sample: "TimeSample") -> bool:
+    def on_ntp_sample(self, sample: TimeSample) -> bool:
         """Whether the sample survives every defense."""
         for defense in self.defenses:
             reason = defense.on_ntp_sample(sample)

@@ -59,14 +59,14 @@ class EncryptedTransport(Defense):
         #: Opportunistic only: seconds a failed nameserver stays plaintext.
         self.holddown = holddown
 
-    def configure_testbed(self, config: "TestbedConfig") -> None:
+    def configure_testbed(self, config: TestbedConfig) -> None:
         if config.transport_cert_key is None:
             config.transport_cert_key = f"tls|{config.zone}|{config.seed}"
         wanted = ("tcp", self.protocol)
         config.nameserver_transports = tuple(
             dict.fromkeys((*config.nameserver_transports, *wanted)))
 
-    def attach_testbed(self, testbed: "Testbed") -> None:
+    def attach_testbed(self, testbed: Testbed) -> None:
         policy = EncryptedTransportPolicy(
             protocol=self.protocol,
             strict=self.strict,

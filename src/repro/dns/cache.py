@@ -14,7 +14,7 @@ experiments can report exactly which pool members were attacker-controlled.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from .records import RecordType, ResourceRecord
 from .wire import normalise_name
@@ -24,7 +24,7 @@ from .wire import normalise_name
 class CacheEntry:
     """All records cached for one (name, type) key, from one response."""
 
-    records: List[ResourceRecord]
+    records: list[ResourceRecord]
     inserted_at: float
     ttl: int
     poisoned: bool = False
@@ -61,16 +61,16 @@ class DNSCache:
     def __init__(self, max_ttl: Optional[int] = None, min_ttl: int = 0) -> None:
         self.max_ttl = max_ttl
         self.min_ttl = min_ttl
-        self._entries: Dict[Tuple[str, RecordType], CacheEntry] = {}
+        self._entries: dict[tuple[str, RecordType], CacheEntry] = {}
         self.stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def _key(self, name: str, rtype: RecordType) -> Tuple[str, RecordType]:
+    def _key(self, name: str, rtype: RecordType) -> tuple[str, RecordType]:
         return (normalise_name(name), rtype)
 
-    def insert(self, name: str, rtype: RecordType, records: List[ResourceRecord],
+    def insert(self, name: str, rtype: RecordType, records: list[ResourceRecord],
                now: float, poisoned: bool = False) -> CacheEntry:
         """Cache the records of one response under (name, rtype).
 
@@ -116,6 +116,6 @@ class DNSCache:
         """Remove one entry if present."""
         self._entries.pop(self._key(name, rtype), None)
 
-    def poisoned_names(self) -> List[str]:
+    def poisoned_names(self) -> list[str]:
         """Names currently served from poisoned entries."""
         return [name for (name, _), entry in self._entries.items() if entry.poisoned]

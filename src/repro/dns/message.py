@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from .records import RecordClass, RecordType, ResourceRecord, opt_record
 from .wire import (
@@ -81,9 +81,9 @@ class DNSMessage:
     transaction_id: int
     question: Question
     is_response: bool = False
-    answers: Tuple[ResourceRecord, ...] = ()
-    authority: Tuple[ResourceRecord, ...] = ()
-    additional: Tuple[ResourceRecord, ...] = ()
+    answers: tuple[ResourceRecord, ...] = ()
+    authority: tuple[ResourceRecord, ...] = ()
+    additional: tuple[ResourceRecord, ...] = ()
     rcode: ResponseCode = ResponseCode.NOERROR
     recursion_desired: bool = True
     recursion_available: bool = False
@@ -114,7 +114,7 @@ class DNSMessage:
     # -- constructors --------------------------------------------------------
     @classmethod
     def query(cls, transaction_id: int, name: str, qtype: RecordType = RecordType.A,
-              edns_payload: int = 4096, dnssec_ok: bool = False) -> "DNSMessage":
+              edns_payload: int = 4096, dnssec_ok: bool = False) -> DNSMessage:
         """Build a standard recursive query with an EDNS OPT record."""
         additional = (opt_record(edns_payload),) if edns_payload else ()
         return cls(
@@ -125,10 +125,10 @@ class DNSMessage:
             dnssec_ok=dnssec_ok,
         )
 
-    def make_response(self, answers: List[ResourceRecord],
+    def make_response(self, answers: list[ResourceRecord],
                       rcode: ResponseCode = ResponseCode.NOERROR,
                       authoritative: bool = True,
-                      edns_payload: int = 4096) -> "DNSMessage":
+                      edns_payload: int = 4096) -> DNSMessage:
         """Build a response to this query, echoing id and question."""
         additional = (opt_record(edns_payload),) if edns_payload else ()
         return replace(
@@ -144,11 +144,11 @@ class DNSMessage:
 
     # -- convenience ---------------------------------------------------------
     @property
-    def answer_addresses(self) -> List[str]:
+    def answer_addresses(self) -> list[str]:
         """All A-record addresses in the answer section, in order."""
         return [rr.rdata for rr in self.answers if rr.rtype == RecordType.A]
 
-    def matches_query(self, query: "DNSMessage") -> bool:
+    def matches_query(self, query: DNSMessage) -> bool:
         """Off-path acceptance check a resolver performs on a response:
         transaction id and question must match the outstanding query."""
         return (
@@ -215,7 +215,7 @@ class DNSMessage:
         return len(self.encode())
 
     @classmethod
-    def decode(cls, data: bytes) -> "DNSMessage":
+    def decode(cls, data: bytes) -> DNSMessage:
         """Parse wire bytes back into a message (single-question only)."""
         if len(data) < DNS_HEADER_SIZE:
             raise WireFormatError("truncated DNS header")
@@ -239,9 +239,9 @@ class DNSMessage:
                 raise WireFormatError("truncated cookie block")
             cookie = int.from_bytes(data[offset:offset + COOKIE_SIZE], "big")
             offset += COOKIE_SIZE
-        sections: List[List[ResourceRecord]] = []
+        sections: list[list[ResourceRecord]] = []
         for count in (ancount, nscount, arcount):
-            records: List[ResourceRecord] = []
+            records: list[ResourceRecord] = []
             for _ in range(count):
                 record, offset = ResourceRecord.decode(data, offset)
                 records.append(record)

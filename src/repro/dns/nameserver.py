@@ -16,8 +16,9 @@ pool.ntp.org behaviour that matters to the reproduction:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 from ..netsim.network import Host, Network
 from ..netsim.packets import UDPDatagram
@@ -35,7 +36,7 @@ POOL_RECORDS_PER_RESPONSE = 4
 class AuthoritativeNameserver(Host):
     """A simple authoritative server answering A queries from a static zone."""
 
-    def __init__(self, network: Network, address: str, zone: Dict[str, List[str]],
+    def __init__(self, network: Network, address: str, zone: dict[str, list[str]],
                  ttl: int = 300, name: Optional[str] = None, dnssec: bool = False,
                  zone_key: Optional[str] = None,
                  udp_payload_limit: Optional[int] = None) -> None:
@@ -61,11 +62,11 @@ class AuthoritativeNameserver(Host):
     def add_records(self, owner: str, addresses: Sequence[str]) -> None:
         self.zone.setdefault(normalise_name(owner), []).extend(addresses)
 
-    def records_for(self, owner: str) -> List[str]:
+    def records_for(self, owner: str) -> list[str]:
         return self.zone.get(normalise_name(owner), [])
 
     # -- answering -------------------------------------------------------------
-    def select_addresses(self, owner: str) -> List[str]:
+    def select_addresses(self, owner: str) -> list[str]:
         """Which addresses to include in a response (all of them, by default)."""
         return self.records_for(owner)
 
@@ -154,7 +155,7 @@ class PoolNTPNameserver(AuthoritativeNameserver):
         owner = normalise_name(owner)
         return owner == self.zone_name or owner.endswith("." + self.zone_name)
 
-    def select_addresses(self, owner: str) -> List[str]:
+    def select_addresses(self, owner: str) -> list[str]:
         if not self.matches_zone(owner):
             return []
         count = min(self.records_per_response, len(self.pool_servers))

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import enum
 import hashlib
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence, Tuple
 
 from ..netsim.addresses import int_to_ip, ip_to_int
 from .wire import (
@@ -75,7 +75,7 @@ class ResourceRecord:
     def is_address(self) -> bool:
         return self.rtype == RecordType.A
 
-    def with_ttl(self, ttl: int) -> "ResourceRecord":
+    def with_ttl(self, ttl: int) -> ResourceRecord:
         """Copy of this record with a different TTL (cache decrementing)."""
         return ResourceRecord(self.name, self.rtype, ttl, self.rdata, self.rclass)
 
@@ -111,7 +111,7 @@ class ResourceRecord:
         return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes, offset: int) -> Tuple["ResourceRecord", int]:
+    def decode(cls, data: bytes, offset: int) -> tuple["ResourceRecord", int]:
         """Decode one RR starting at ``offset``; returns (record, next_offset)."""
         name, offset = decode_name(data, offset)
         rtype = RecordType(unpack_uint16(data, offset))

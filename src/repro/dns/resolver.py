@@ -25,8 +25,9 @@ answer a query on their own.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Optional
 
 from ..defenses.base import QueryContext, ResponseContext
 from ..defenses.classic import default_resolver_defenses
@@ -40,7 +41,7 @@ from .records import RecordType
 from .wire import normalise_name
 
 #: Callback invoked with the answer addresses (possibly empty on failure).
-LookupCallback = Callable[[List[str]], None]
+LookupCallback = Callable[[list[str]], None]
 
 
 @dataclass
@@ -100,10 +101,10 @@ class RecursiveResolver(Host):
     """
 
     def __init__(self, network: Network, address: str,
-                 nameserver_map: Dict[str, str],
+                 nameserver_map: dict[str, str],
                  policy: Optional[ResolverPolicy] = None,
                  name: Optional[str] = None,
-                 allowed_clients: Optional[List[str]] = None,
+                 allowed_clients: Optional[list[str]] = None,
                  defenses: Optional[DefenseStack] = None) -> None:
         super().__init__(network, address, name=name or f"resolver-{address}")
         #: zone suffix (normalised) -> authoritative nameserver address
@@ -113,7 +114,7 @@ class RecursiveResolver(Host):
         self.allowed_clients = set(allowed_clients) if allowed_clients else None
         extra = list(defenses) if defenses is not None else []
         self.defenses = DefenseStack([*default_resolver_defenses(self.policy), *extra])
-        self._pending: Dict[Tuple[int, str], PendingUpstreamQuery] = {}
+        self._pending: dict[tuple[int, str], PendingUpstreamQuery] = {}
         self._next_txid = 1
         #: Stream/encrypted upstream transport manager; ``None`` until the
         #: first truncated response (lazy plain-TCP fallback) or until the
@@ -268,7 +269,7 @@ class RecursiveResolver(Host):
             )
         )
 
-    def _on_timeout(self, key: Tuple[int, str]) -> None:
+    def _on_timeout(self, key: tuple[int, str]) -> None:
         pending = self._pending.pop(key, None)
         if pending is None:
             return
@@ -366,7 +367,7 @@ class DNSStub:
         self.host = host
         self.resolver_address = resolver_address
         self.query_timeout = query_timeout
-        self._pending: Dict[Tuple[int, int], Tuple[DNSMessage, Callable, object, bool]] = {}
+        self._pending: dict[tuple[int, int], tuple[DNSMessage, Callable, object, bool]] = {}
         self.lookups_issued = 0
         self.lookups_failed = 0
 
@@ -404,7 +405,7 @@ class DNSStub:
             )
         )
 
-    def _on_timeout(self, key: Tuple[int, int]) -> None:
+    def _on_timeout(self, key: tuple[int, int]) -> None:
         entry = self._pending.pop(key, None)
         if entry is None:
             return

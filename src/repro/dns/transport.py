@@ -36,7 +36,8 @@ baseline.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Optional
 
 from ..netsim.packets import UDPDatagram
 from ..netsim.transport import (
@@ -71,9 +72,9 @@ class DNSFrameDecoder:
     def __init__(self) -> None:
         self._buffer = bytearray()
 
-    def feed(self, data: bytes) -> List[bytes]:
+    def feed(self, data: bytes) -> list[bytes]:
         self._buffer += data
-        messages: List[bytes] = []
+        messages: list[bytes] = []
         while len(self._buffer) >= 2:
             length = int.from_bytes(self._buffer[:2], "big")
             if len(self._buffer) < 2 + length:
@@ -104,9 +105,9 @@ class DoHMessageDecoder:
     def __init__(self) -> None:
         self._buffer = bytearray()
 
-    def feed(self, data: bytes) -> List[bytes]:
+    def feed(self, data: bytes) -> list[bytes]:
         self._buffer += data
-        messages: List[bytes] = []
+        messages: list[bytes] = []
         while True:
             head_end = self._buffer.find(b"\r\n\r\n")
             if head_end < 0:
@@ -138,7 +139,7 @@ class DNSServerTransport:
     """
 
     def __init__(self, nameserver: AuthoritativeNameserver,
-                 transports: Tuple[str, ...] = ("tcp",),
+                 transports: tuple[str, ...] = ("tcp",),
                  cert_key: Optional[str] = None,
                  identity: Optional[str] = None,
                  backlog: Optional[int] = None) -> None:
@@ -152,7 +153,7 @@ class DNSServerTransport:
         self.transports = tuple(transports)
         self.cert_key = cert_key
         self.identity = identity
-        self.queries_answered: Dict[str, int] = {name: 0 for name in transports}
+        self.queries_answered: dict[str, int] = {name: 0 for name in transports}
         kwargs = {} if backlog is None else {"backlog": backlog}
         stack = nameserver.tcp
         if "tcp" in transports:
@@ -238,7 +239,7 @@ class ResolverUpstreamTransport:
     DoT/DoH instead of UDP.
     """
 
-    def __init__(self, resolver: "RecursiveResolver",
+    def __init__(self, resolver: RecursiveResolver,
                  policy: Optional[EncryptedTransportPolicy] = None,
                  trust_anchor: Optional[str] = None,
                  expected_identity: Optional[str] = None) -> None:
@@ -248,7 +249,7 @@ class ResolverUpstreamTransport:
         self.expected_identity = expected_identity
         #: nameserver address -> simulated time until which the resolver
         #: speaks plaintext to it (opportunistic downgrade hold-down).
-        self._plaintext_until: Dict[str, float] = {}
+        self._plaintext_until: dict[str, float] = {}
         self.encrypted_queries = 0
         self.encrypted_failures = 0
         #: Queries an opportunistic policy pushed back to plaintext UDP.
@@ -270,7 +271,7 @@ class ResolverUpstreamTransport:
         return self._plaintext_until.get(nameserver_address, 0.0) <= self._simulator.now
 
     # -- dispatch ----------------------------------------------------------------
-    def dispatch(self, key: Tuple[int, str], pending: "PendingUpstreamQuery") -> None:
+    def dispatch(self, key: tuple[int, str], pending: PendingUpstreamQuery) -> None:
         """Send one upstream query per the policy (called by the resolver)."""
         if self.uses_encrypted(pending.nameserver_address):
             self._send_encrypted(key, pending)
@@ -280,7 +281,7 @@ class ResolverUpstreamTransport:
             self.downgraded_queries += 1
         self.resolver._send_upstream_datagram(pending)
 
-    def _send_encrypted(self, key: Tuple[int, str], pending: "PendingUpstreamQuery") -> None:
+    def _send_encrypted(self, key: tuple[int, str], pending: PendingUpstreamQuery) -> None:
         policy = self.policy
         self.encrypted_queries += 1
         pending.sent_via = "stream"
@@ -297,8 +298,8 @@ class ResolverUpstreamTransport:
         channel.on_data = self._receiver(channel, pending, framing)
         channel.on_failure = lambda reason: self._on_encrypted_failure(key, pending, reason)
 
-    def _on_encrypted_failure(self, key: Tuple[int, str],
-                              pending: "PendingUpstreamQuery", reason: str) -> None:
+    def _on_encrypted_failure(self, key: tuple[int, str],
+                              pending: PendingUpstreamQuery, reason: str) -> None:
         self.encrypted_failures += 1
         if key not in self.resolver._pending:
             return  # already answered or timed out
@@ -315,7 +316,7 @@ class ResolverUpstreamTransport:
         self.resolver._send_upstream_datagram(pending)
 
     # -- TC-bit fallback -----------------------------------------------------------
-    def retry_over_tcp(self, key: Tuple[int, str], pending: "PendingUpstreamQuery") -> None:
+    def retry_over_tcp(self, key: tuple[int, str], pending: PendingUpstreamQuery) -> None:
         """Re-ask one truncated query over plain DNS-over-TCP (RFC 7766)."""
         self.tcp_retries += 1
         pending.sent_via = "stream"
@@ -329,7 +330,7 @@ class ResolverUpstreamTransport:
         # is never accepted, with or without a working fallback path.
 
     # -- response delivery -----------------------------------------------------------
-    def _receiver(self, socket: StreamSocket, pending: "PendingUpstreamQuery",
+    def _receiver(self, socket: StreamSocket, pending: PendingUpstreamQuery,
                   framing: str) -> Callable[[bytes], None]:
         decoder = DoHMessageDecoder() if framing == "doh" else DNSFrameDecoder()
 
@@ -345,7 +346,7 @@ class ResolverUpstreamTransport:
 
         return on_data
 
-    def _deliver(self, pending: "PendingUpstreamQuery", response: DNSMessage,
+    def _deliver(self, pending: PendingUpstreamQuery, response: DNSMessage,
                  wire: bytes) -> None:
         # The stream endpoint *is* the provenance: the connection was opened
         # to the nameserver's address and (for DoT/DoH) authenticated by the

@@ -16,7 +16,6 @@ Both are computed from the byte layout implemented here, not hard-coded.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Tuple
 
 MAX_LABEL_LENGTH = 63
 MAX_NAME_LENGTH = 255
@@ -38,7 +37,7 @@ def normalise_name(name: str) -> str:
 
 
 @lru_cache(maxsize=4096)
-def _validated_labels(name: str) -> Tuple[str, ...]:
+def _validated_labels(name: str) -> tuple[str, ...]:
     """Split an already-normalised name into validated labels.
 
     Cached because experiments encode the same handful of names (the zone
@@ -59,12 +58,12 @@ def _validated_labels(name: str) -> Tuple[str, ...]:
     return labels
 
 
-def name_to_labels(name: str) -> List[str]:
+def name_to_labels(name: str) -> list[str]:
     """Split a domain name into its labels, validating lengths."""
     return list(_validated_labels(normalise_name(name)))
 
 
-def encode_name(name: str, compression: Dict[str, int] = None, offset: int = 0) -> bytes:
+def encode_name(name: str, compression: dict[str, int] = None, offset: int = 0) -> bytes:
     """Encode a domain name, optionally using/updating a compression map.
 
     ``compression`` maps a (normalised) name suffix to the wire offset where
@@ -108,14 +107,14 @@ def encoded_name_length(name: str, compressed: bool) -> int:
     return sum(len(label) + 1 for label in labels) + 1
 
 
-def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+def decode_name(data: bytes, offset: int) -> tuple[str, int]:
     """Decode a (possibly compressed) name starting at ``offset``.
 
     Returns ``(name, next_offset)`` where ``next_offset`` is the offset just
     past the name *in the original position* (pointers do not advance it
     beyond the 2 pointer bytes).
     """
-    labels: List[str] = []
+    labels: list[str] = []
     position = offset
     jumped = False
     next_offset = offset
@@ -175,7 +174,7 @@ def apply_case_pattern(name_bytes: bytes, nonce: int) -> bytes:
     return bytes(out)
 
 
-def extract_case_pattern(name_bytes: bytes) -> Tuple[int, int]:
+def extract_case_pattern(name_bytes: bytes) -> tuple[int, int]:
     """Recover ``(nonce, letter_count)`` from an encoded name's letter cases."""
     nonce = 0
     bit = 0

@@ -35,8 +35,9 @@ import contextlib
 import hashlib
 import json
 import os
+from collections.abc import Iterator, Mapping
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional, Set
+from typing import Any, Optional
 
 from .registry import get_scenario
 from .results import RunRecord
@@ -70,7 +71,7 @@ def scenario_fingerprint(scenario_name: str) -> str:
         "name": scenario_name,
         "defaults": scenario.default_params(),
     }
-    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 def task_key(scenario_name: str, seed: int, params: Mapping[str, Any],
@@ -82,7 +83,7 @@ def task_key(scenario_name: str, seed: int, params: Mapping[str, Any],
         "seed": seed,
         "params": dict(params),
     }
-    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 class CacheStats:
@@ -131,8 +132,8 @@ class RunCache:
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
-        self._shards: Dict[str, Dict[str, dict]] = {}
-        self._fingerprints: Dict[str, str] = {}
+        self._shards: dict[str, dict[str, dict]] = {}
+        self._fingerprints: dict[str, str] = {}
 
     # -- key helpers ---------------------------------------------------------
     def fingerprint(self, scenario_name: str) -> str:
@@ -150,11 +151,11 @@ class RunCache:
     def _shard_path(self, shard: str) -> Path:
         return self.path / f"{self.SHARD_PREFIX}{shard}.jsonl"
 
-    def _load_shard(self, shard: str) -> Dict[str, dict]:
+    def _load_shard(self, shard: str) -> dict[str, dict]:
         loaded = self._shards.get(shard)
         if loaded is not None:
             return loaded
-        entries: Dict[str, dict] = {}
+        entries: dict[str, dict] = {}
         shard_path = self._shard_path(shard)
         try:
             raw = shard_path.read_bytes()
@@ -218,7 +219,7 @@ class RunCache:
         # write was torn (process killed mid-write, no trailing newline),
         # this write terminates the partial line instead of merging into it.
         # Readers skip the resulting blank lines.
-        line = b"\n" + canonical_json(entry).encode("utf-8") + b"\n"
+        line = b"\n" + canonical_json(entry).encode() + b"\n"
         fd = os.open(self._shard_path(key[:2]), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
         try:
             os.write(fd, line)
@@ -240,10 +241,10 @@ class RunCache:
         the number of entries removed.
         """
         removed = 0
-        current: Dict[str, Optional[str]] = {}
+        current: dict[str, Optional[str]] = {}
         for shard in list(self._shard_names_on_disk()):
             entries = self._load_shard(shard)
-            kept: Dict[str, dict] = {}
+            kept: dict[str, dict] = {}
             for key, entry in entries.items():
                 name = entry["record"]["scenario"]
                 if name not in current:
@@ -258,7 +259,7 @@ class RunCache:
             if len(kept) != len(entries):
                 shard_path = self._shard_path(shard)
                 tmp_path = shard_path.with_suffix(".jsonl.tmp")
-                payload = b"".join(canonical_json(entry).encode("utf-8") + b"\n"
+                payload = b"".join(canonical_json(entry).encode() + b"\n"
                                    for entry in kept.values())
                 tmp_path.write_bytes(payload)
                 os.replace(tmp_path, shard_path)
@@ -275,7 +276,7 @@ class RunCache:
 
     # -- introspection -------------------------------------------------------
     def __len__(self) -> int:
-        keys: Set[str] = set()
+        keys: set[str] = set()
         for shard in self._shard_names_on_disk():
             keys.update(self._load_shard(shard))
         return len(keys)

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import hashlib
 import time
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Optional
 
 from .cache import RunCache
 from .results import ConfidenceInterval, ExperimentResult
@@ -53,7 +54,7 @@ class DefenseStackSpec:
     """One matrix column: a named, ordered combination of defenses."""
 
     name: str
-    defenses: Tuple[str, ...]
+    defenses: tuple[str, ...]
     description: str = ""
 
 
@@ -65,7 +66,7 @@ class DefenseStackSpec:
 #: blankets the whole generation window and the attacker mimics the zone's
 #: published profile (4 records, short TTL) — the strongest attacker the
 #: mitigations concede to.
-LEGACY_ATTACKS: Tuple[AttackSpec, ...] = (
+LEGACY_ATTACKS: tuple[AttackSpec, ...] = (
     AttackSpec("chronos_poisoning", "chronos_pool_attack",
                {"poison_at_query": 1, "run_time_shift": False,
                 "benign_server_count": 120}),
@@ -82,7 +83,7 @@ LEGACY_ATTACKS: Tuple[AttackSpec, ...] = (
 #: The default rows: the legacy grid plus the encrypted-transport
 #: ``downgrade`` vector (force an opportunistic resolver back to plaintext,
 #: then race) — the row that keeps the DoT columns honest.
-DEFAULT_ATTACKS: Tuple[AttackSpec, ...] = (
+DEFAULT_ATTACKS: tuple[AttackSpec, ...] = (
     *LEGACY_ATTACKS,
     AttackSpec("downgrade", "downgrade", {}),
 )
@@ -92,7 +93,7 @@ DEFAULT_ATTACKS: Tuple[AttackSpec, ...] = (
 #: TXID/port and response matching are always on — and the §V mitigations
 #: appear alone and combined so the matrix contains the paper's mitigation
 #: table as a cell slice.
-LEGACY_STACKS: Tuple[DefenseStackSpec, ...] = (
+LEGACY_STACKS: tuple[DefenseStackSpec, ...] = (
     DefenseStackSpec("classic", (),
                      "random TXID/port + response matching only"),
     DefenseStackSpec("dns_0x20", ("dns_0x20",), "0x20 case encoding"),
@@ -119,7 +120,7 @@ LEGACY_STACKS: Tuple[DefenseStackSpec, ...] = (
 #: row — including the §V residual 24-hour hijack — at the trust-model
 #: price the paper names; the opportunistic column shows why the policy,
 #: not the cryptography, decides whether that protection is real.
-DEFAULT_STACKS: Tuple[DefenseStackSpec, ...] = (
+DEFAULT_STACKS: tuple[DefenseStackSpec, ...] = (
     *LEGACY_STACKS,
     DefenseStackSpec("dot_strict", ("encrypted_transport",),
                      "strict DNS-over-TLS upstream (fail closed)"),
@@ -157,9 +158,9 @@ class MatrixCell:
 class DefenseMatrixResult:
     """The full grid, cell-addressable and deterministically digestible."""
 
-    attacks: Tuple[AttackSpec, ...]
-    stacks: Tuple[DefenseStackSpec, ...]
-    cells: Dict[Tuple[str, str], MatrixCell]
+    attacks: tuple[AttackSpec, ...]
+    stacks: tuple[DefenseStackSpec, ...]
+    cells: dict[tuple[str, str], MatrixCell]
     elapsed_seconds: float = 0.0
     #: Execution accounting from the shared scheduler (``None`` when the
     #: legacy per-row path ran); deliberately excluded from :meth:`digest`.
@@ -173,10 +174,10 @@ class DefenseMatrixResult:
                            f"{[a.label for a in self.attacks]}, stacks: "
                            f"{[s.name for s in self.stacks]}") from None
 
-    def row(self, attack: str) -> List[MatrixCell]:
+    def row(self, attack: str) -> list[MatrixCell]:
         return [self.cell(attack, stack.name) for stack in self.stacks]
 
-    def column(self, stack: str) -> List[MatrixCell]:
+    def column(self, stack: str) -> list[MatrixCell]:
         return [self.cell(attack.label, stack) for attack in self.attacks]
 
     # -- determinism ------------------------------------------------------------
@@ -190,18 +191,18 @@ class DefenseMatrixResult:
         for attack in self.attacks:
             for stack in self.stacks:
                 cell = self.cell(attack.label, stack.name)
-                digest.update(f"{attack.label}|{stack.name}|".encode("utf-8"))
-                digest.update(cell.result.to_json().encode("utf-8"))
+                digest.update(f"{attack.label}|{stack.name}|".encode())
+                digest.update(cell.result.to_json().encode())
         return digest.hexdigest()
 
     # -- reporting ---------------------------------------------------------------
-    def success_table(self) -> Dict[str, Dict[str, float]]:
+    def success_table(self) -> dict[str, dict[str, float]]:
         """attack label -> stack name -> success rate."""
         return {attack.label: {stack.name: self.cell(attack.label, stack.name).success_rate
                                for stack in self.stacks}
                 for attack in self.attacks}
 
-    def formatted(self) -> List[str]:
+    def formatted(self) -> list[str]:
         """A printable success-rate table (rows: attacks, columns: stacks)."""
         width = max(len(attack.label) for attack in self.attacks)
         header = " " * width + "".join(f" {stack.name:>13}" for stack in self.stacks)
@@ -225,7 +226,7 @@ class DefenseMatrixResult:
 
 def matrix_specs(attacks: Sequence[AttackSpec],
                  stacks: Sequence[DefenseStackSpec],
-                 seeds: Sequence[int]) -> List[ExperimentSpec]:
+                 seeds: Sequence[int]) -> list[ExperimentSpec]:
     """One :class:`ExperimentSpec` per attack row, stacks as ``param_sets``."""
     return [
         ExperimentSpec(
@@ -266,7 +267,7 @@ def run_defense_matrix(attacks: Sequence[AttackSpec] = DEFAULT_ATTACKS,
     else:
         row_results = [ExperimentRunner(spec=spec, workers=workers, cache=cache).run()
                        for spec in specs]
-    cells: Dict[Tuple[str, str], MatrixCell] = {}
+    cells: dict[tuple[str, str], MatrixCell] = {}
     per_stack = len(seeds)
     for attack, row_result in zip(attacks, row_results):
         # Task order is param_sets-major, seeds inner; slice back per stack.

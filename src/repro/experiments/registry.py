@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import importlib
 import sys
-from typing import Any, Dict, Mapping, Protocol, runtime_checkable
+from collections.abc import Mapping
+from typing import Any, Protocol, runtime_checkable
 
 
 @runtime_checkable
@@ -31,14 +32,14 @@ class Scenario(Protocol):
     name: str
     description: str
 
-    def default_params(self) -> Dict[str, Any]:
+    def default_params(self) -> dict[str, Any]:
         ...
 
-    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+    def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
         ...
 
 
-_REGISTRY: Dict[str, Scenario] = {}
+_REGISTRY: dict[str, Scenario] = {}
 
 #: Modules imported on first lookup; importing them registers the builtins.
 _BUILTIN_MODULES = ("repro.experiments.scenarios", "repro.population.scenario")
@@ -89,13 +90,13 @@ def get_scenario(name: str) -> Scenario:
                        f"{', '.join(sorted(_REGISTRY))}") from None
 
 
-def available_scenarios() -> Dict[str, str]:
+def available_scenarios() -> dict[str, str]:
     """Mapping of every registered scenario name to its description."""
     _load_builtins()
     return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
 
 
-def merge_params(defaults: Mapping[str, Any], params: Mapping[str, Any]) -> Dict[str, Any]:
+def merge_params(defaults: Mapping[str, Any], params: Mapping[str, Any]) -> dict[str, Any]:
     """Overlay ``params`` on ``defaults``, rejecting unknown keys.
 
     Scenario configs are flat dicts; a typo'd key silently falling through

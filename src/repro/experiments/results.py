@@ -14,8 +14,9 @@ import hashlib
 import json
 import math
 import statistics
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any
 
 
 def _z_value(confidence: float) -> float:
@@ -91,7 +92,7 @@ class RunRecord:
     params: Mapping[str, Any]
     metrics: Mapping[str, Any]
 
-    def canonical(self) -> Dict[str, Any]:
+    def canonical(self) -> dict[str, Any]:
         """Plain-dict form used for JSON encoding and digesting."""
         return {
             "scenario": self.scenario,
@@ -106,7 +107,7 @@ class ExperimentResult:
     """Ordered collection of run records plus the aggregate views over them."""
 
     scenario: str
-    records: List[RunRecord] = field(default_factory=list)
+    records: list[RunRecord] = field(default_factory=list)
     #: Wall-clock duration of the sweep; deliberately excluded from the
     #: digest so parallel and sequential runs of the same sweep compare equal.
     elapsed_seconds: float = 0.0
@@ -115,11 +116,11 @@ class ExperimentResult:
         return len(self.records)
 
     # -- metric access -------------------------------------------------------
-    def values(self, key: str) -> List[Any]:
+    def values(self, key: str) -> list[Any]:
         """Every record's value for ``key`` (records lacking it are skipped)."""
         return [record.metrics[key] for record in self.records if key in record.metrics]
 
-    def numeric_values(self, key: str) -> List[float]:
+    def numeric_values(self, key: str) -> list[float]:
         return [float(value) for value in self.values(key) if value is not None]
 
     # -- success-rate aggregates ---------------------------------------------
@@ -150,13 +151,13 @@ class ExperimentResult:
         return mean_interval(self.numeric_values(key), confidence)
 
     # -- grouping --------------------------------------------------------------
-    def group_by(self, *param_keys: str) -> "Dict[Tuple[Any, ...], ExperimentResult]":
+    def group_by(self, *param_keys: str) -> dict[tuple[Any, ...], ExperimentResult]:
         """Split the result per grid point, keyed by the given parameter values.
 
         Insertion order follows first appearance in ``records``, which is the
         runner's deterministic task order.
         """
-        groups: Dict[Tuple[Any, ...], ExperimentResult] = {}
+        groups: dict[tuple[Any, ...], ExperimentResult] = {}
         for record in self.records:
             key = tuple(record.params.get(name) for name in param_keys)
             if key not in groups:
@@ -172,11 +173,11 @@ class ExperimentResult:
 
     def digest(self) -> str:
         """SHA-256 over the canonical encoding; byte-identical sweeps match."""
-        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
 
     # -- reporting ---------------------------------------------------------------
     def summary_lines(self, shift_key: str = "achieved_shift",
-                      success_key: str = "attack_succeeded") -> List[str]:
+                      success_key: str = "attack_succeeded") -> list[str]:
         """Human-readable aggregate block used by benchmarks and examples."""
         lines = [f"scenario: {self.scenario}  runs: {len(self.records)}  "
                  f"wall-clock: {self.elapsed_seconds:.2f}s"]

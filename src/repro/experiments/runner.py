@@ -13,9 +13,10 @@ byte-identical no matter how many workers executed it.
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from itertools import product
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Optional
 
 from .registry import get_scenario, merge_params
 from .results import ExperimentResult, RunRecord
@@ -24,11 +25,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .cache import RunCache
 
 #: A unit of work: (scenario name, seed, fully-resolved parameter dict).
-Task = Tuple[str, int, Dict[str, Any]]
+Task = tuple[str, int, dict[str, Any]]
 
 
 def run_scenario(name: str, seed: int,
-                 params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+                 params: Optional[Mapping[str, Any]] = None) -> dict[str, Any]:
     """Run one scenario once by registry name; the runner's building block.
 
     Also the recommended way for analysis code to drive a single packet-level
@@ -45,7 +46,7 @@ def _execute_task(task: Task) -> RunRecord:
     return RunRecord(scenario=name, seed=seed, params=params, metrics=metrics)
 
 
-def resolve_spec_tasks(spec: "ExperimentSpec") -> List[Task]:
+def resolve_spec_tasks(spec: ExperimentSpec) -> list[Task]:
     """A spec's fully-resolved task list: defaults merged, unknown keys rejected.
 
     Resolving up-front (rather than in the worker) means every
@@ -70,10 +71,10 @@ class ExperimentSpec:
     """
 
     scenario: str
-    seeds: Tuple[int, ...] = (1,)
+    seeds: tuple[int, ...] = (1,)
     base_params: Mapping[str, Any] = field(default_factory=dict)
     grid: Optional[Mapping[str, Sequence[Any]]] = None
-    param_sets: Optional[Tuple[Mapping[str, Any], ...]] = None
+    param_sets: Optional[tuple[Mapping[str, Any], ...]] = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -81,7 +82,7 @@ class ExperimentSpec:
         if self.grid is not None and self.param_sets is not None:
             raise ValueError("grid and param_sets are mutually exclusive")
 
-    def parameter_sets(self) -> List[Dict[str, Any]]:
+    def parameter_sets(self) -> list[dict[str, Any]]:
         """The ordered parameter overlays this spec expands to."""
         base = dict(self.base_params)
         if self.param_sets is not None:
@@ -92,7 +93,7 @@ class ExperimentSpec:
         return [{**base, **dict(zip(keys, values))}
                 for values in product(*(self.grid[key] for key in keys))]
 
-    def tasks(self) -> List[Task]:
+    def tasks(self) -> list[Task]:
         return [(self.scenario, seed, params)
                 for params in self.parameter_sets()
                 for seed in self.seeds]
@@ -139,7 +140,7 @@ class ExperimentRunner:
         self.workers = workers
         self.cache = cache
 
-    def tasks(self) -> List[Task]:
+    def tasks(self) -> list[Task]:
         """Fully-resolved task list (see :func:`resolve_spec_tasks`)."""
         return resolve_spec_tasks(self.spec)
 

@@ -18,7 +18,8 @@ first lookup.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from ..attacks.baseline_scenario import BaselineAttackConfig, TraditionalClientAttackScenario
 from ..attacks.bgp_hijack import BGPHijackConfig, BGPHijackScenario
@@ -30,7 +31,7 @@ from ..defenses.stack import DefenseStack
 from .registry import merge_params, register_scenario
 
 
-def defense_rejections(*stacks: DefenseStack) -> Dict[str, int]:
+def defense_rejections(*stacks: DefenseStack) -> dict[str, int]:
     """Combined per-defense rejection counts across the given stacks.
 
     The resolver counts its own (response-side) rejections while the testbed
@@ -51,7 +52,7 @@ class ChronosPoolAttackExperiment:
     description = ("DNS poisoning of Chronos' 24-query pool generation "
                    "followed by the time-shifting phase (§IV)")
 
-    def default_params(self) -> Dict[str, Any]:
+    def default_params(self) -> dict[str, Any]:
         return {
             "poison_at_query": 3,
             "benign_server_count": 200,
@@ -67,7 +68,7 @@ class ChronosPoolAttackExperiment:
             "defenses": (),
         }
 
-    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+    def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
         p = merge_params(self.default_params(), params)
         policy = PoolGenerationPolicy(
             dedupe=p["dedupe"],
@@ -86,7 +87,7 @@ class ChronosPoolAttackExperiment:
         )
         scenario = ChronosPoolAttackScenario(config)
         pool = scenario.run_pool_generation()
-        metrics: Dict[str, Any] = {
+        metrics: dict[str, Any] = {
             "defense_rejections": defense_rejections(scenario.resolver.defenses,
                                                      scenario.testbed.defenses),
             "attack_succeeded": pool.attack_succeeded,
@@ -117,7 +118,7 @@ class TraditionalClientAttackExperiment:
     description = ("DNS poisoning of a traditional NTP client's start-up "
                    "resolution followed by time shifting (E6/E9 baseline)")
 
-    def default_params(self) -> Dict[str, Any]:
+    def default_params(self) -> dict[str, Any]:
         return {
             "poison_startup_lookup": True,
             "benign_server_count": 50,
@@ -129,7 +130,7 @@ class TraditionalClientAttackExperiment:
             "defenses": (),
         }
 
-    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+    def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
         p = merge_params(self.default_params(), params)
         config = BaselineAttackConfig(
             seed=seed,
@@ -161,7 +162,7 @@ class BGPHijackExperiment:
     description = ("cache poisoning of the victim resolver via a BGP "
                    "more-specific hijack of the nameserver prefix (§II)")
 
-    def default_params(self) -> Dict[str, Any]:
+    def default_params(self) -> dict[str, Any]:
         return {
             "benign_server_count": 60,
             "attacker_record_count": None,
@@ -172,7 +173,7 @@ class BGPHijackExperiment:
             "defenses": (),
         }
 
-    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+    def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
         p = merge_params(self.default_params(), params)
         config = BGPHijackConfig(
             seed=seed,
@@ -205,7 +206,7 @@ class FragPoisoningExperiment:
     description = ("cache poisoning via spoofed trailing IPv4 fragments "
                    "spliced into the nameserver's fragmented response (§II.A)")
 
-    def default_params(self) -> Dict[str, Any]:
+    def default_params(self) -> dict[str, Any]:
         return {
             "benign_server_count": 60,
             "records_per_response": 40,
@@ -219,7 +220,7 @@ class FragPoisoningExperiment:
             "defenses": (),
         }
 
-    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+    def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
         p = merge_params(self.default_params(), params)
         config = FragPoisoningConfig(
             seed=seed,
@@ -254,7 +255,7 @@ class DowngradeAttackExperiment:
     description = ("SYN-flood downgrade of opportunistic encrypted DNS "
                    "followed by the classic fragmentation poisoning race")
 
-    def default_params(self) -> Dict[str, Any]:
+    def default_params(self) -> dict[str, Any]:
         return {
             "benign_server_count": 60,
             "records_per_response": 40,
@@ -270,7 +271,7 @@ class DowngradeAttackExperiment:
             "defenses": (),
         }
 
-    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+    def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
         p = merge_params(self.default_params(), params)
         config = DowngradeConfig(
             seed=seed,
@@ -316,7 +317,7 @@ class DNSMeasurementExperiment:
     description = ("the §II companion measurement: nameserver fragmentation/"
                    "DNSSEC and resolver fragment-acceptance statistics (E4)")
 
-    def default_params(self) -> Dict[str, Any]:
+    def default_params(self) -> dict[str, Any]:
         return {
             "nameserver_total": 30,
             "nameserver_fragmenting": 16,
@@ -324,7 +325,7 @@ class DNSMeasurementExperiment:
             "pair_sample": 200,
         }
 
-    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+    def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
         # Imported here: the measurement layer is independent of the attack
         # scenarios this module otherwise wires up.
         from ..analysis.poisoning_vectors import vulnerable_pair_fraction

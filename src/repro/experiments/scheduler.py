@@ -37,15 +37,16 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Optional
 
 from .cache import RunCache
 from .results import ExperimentResult, RunRecord
 from .runner import ExperimentSpec, Task, _execute_task, resolve_spec_tasks
 
 
-def guided_chunk_sizes(task_count: int, workers: int) -> List[int]:
+def guided_chunk_sizes(task_count: int, workers: int) -> list[int]:
     """Decreasing chunk sizes covering ``task_count`` tasks (guided
     self-scheduling, as in OpenMP's ``schedule(guided)``).
 
@@ -57,7 +58,7 @@ def guided_chunk_sizes(task_count: int, workers: int) -> List[int]:
         raise ValueError("task_count must be non-negative")
     if workers < 1:
         raise ValueError("workers must be at least 1")
-    sizes: List[int] = []
+    sizes: list[int] = []
     remaining = task_count
     while remaining > 0:
         size = max(1, remaining // (2 * workers))
@@ -66,7 +67,7 @@ def guided_chunk_sizes(task_count: int, workers: int) -> List[int]:
     return sizes
 
 
-def _execute_chunk(job: Tuple[int, List[Task]]) -> Tuple[int, List[RunRecord]]:
+def _execute_chunk(job: tuple[int, list[Task]]) -> tuple[int, list[RunRecord]]:
     """Worker entry point: run a chunk, tagged with its stream offset."""
     start, tasks = job
     return start, [_execute_task(task) for task in tasks]
@@ -125,15 +126,15 @@ class SweepScheduler:
         self._total = 0
 
     # -- task-level API ------------------------------------------------------
-    def run_tasks(self, tasks: Sequence[Task]) -> Tuple[List[RunRecord], SweepStats]:
+    def run_tasks(self, tasks: Sequence[Task]) -> tuple[list[RunRecord], SweepStats]:
         """Execute fully-resolved tasks, returning records in task order."""
         start_time = time.perf_counter()
         stats = SweepStats(tasks_total=len(tasks), workers=self.workers)
-        records: List[Optional[RunRecord]] = [None] * len(tasks)
+        records: list[Optional[RunRecord]] = [None] * len(tasks)
         self._done = 0
         self._total = len(tasks)
 
-        pending: List[Tuple[int, Task]] = []
+        pending: list[tuple[int, Task]] = []
         if self.cache is not None:
             for index, task in enumerate(tasks):
                 cached = self.cache.get(*task)
@@ -172,8 +173,8 @@ class SweepScheduler:
             for record in records:
                 self.cache.put(record)
 
-    def _execute(self, pending: List[Tuple[int, Task]],
-                 stats: SweepStats) -> List[RunRecord]:
+    def _execute(self, pending: list[tuple[int, Task]],
+                 stats: SweepStats) -> list[RunRecord]:
         """Run the pending tasks, preserving their given order in the result."""
         tasks = [task for _, task in pending]
         # A pool only pays off when there are more tasks than workers;
@@ -181,7 +182,7 @@ class SweepScheduler:
         if self.workers == 1 or len(tasks) <= self.workers:
             stats.executed_inline = True
             stats.chunks = len(tasks)
-            results_inline: List[RunRecord] = []
+            results_inline: list[RunRecord] = []
             for task in tasks:
                 record = _execute_task(task)
                 self._persist((record,))
@@ -189,14 +190,14 @@ class SweepScheduler:
                 self._report_progress(1)
             return results_inline
 
-        jobs: List[Tuple[int, List[Task]]] = []
+        jobs: list[tuple[int, list[Task]]] = []
         offset = 0
         for size in guided_chunk_sizes(len(tasks), self.workers):
             jobs.append((offset, tasks[offset:offset + size]))
             offset += size
         stats.chunks = len(jobs)
 
-        results: List[Optional[List[RunRecord]]] = [None] * len(jobs)
+        results: list[Optional[list[RunRecord]]] = [None] * len(jobs)
         starts = {start: slot for slot, (start, _) in enumerate(jobs)}
         with multiprocessing.Pool(processes=self.workers) as pool:
             # Unordered completion + index-tagged chunks: fast workers move
@@ -206,7 +207,7 @@ class SweepScheduler:
                 self._persist(chunk_records)
                 results[starts[start]] = chunk_records
                 self._report_progress(len(chunk_records))
-        flattened: List[RunRecord] = []
+        flattened: list[RunRecord] = []
         for chunk_records in results:
             assert chunk_records is not None
             flattened.extend(chunk_records)
@@ -214,7 +215,7 @@ class SweepScheduler:
 
     # -- spec-level API ------------------------------------------------------
     def run_specs(self, specs: Sequence[ExperimentSpec]
-                  ) -> Tuple[List[ExperimentResult], SweepStats]:
+                  ) -> tuple[list[ExperimentResult], SweepStats]:
         """Run every spec's cells as one flattened stream; one result per spec.
 
         Each returned :class:`ExperimentResult` carries the records of its
@@ -222,8 +223,8 @@ class SweepScheduler:
         shared wall-clock of the whole stream (the per-spec share is not
         meaningful under a shared pool).
         """
-        all_tasks: List[Task] = []
-        boundaries: List[Tuple[int, int]] = []
+        all_tasks: list[Task] = []
+        boundaries: list[tuple[int, int]] = []
         for spec in specs:
             resolved = resolve_spec_tasks(spec)
             boundaries.append((len(all_tasks), len(all_tasks) + len(resolved)))

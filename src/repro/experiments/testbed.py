@@ -17,8 +17,9 @@ builds from the same config are identical event-for-event.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Optional
 
 from ..defenses.stack import DefenseSpec, DefenseStack
 from ..dns.nameserver import POOL_NTP_ORG_TTL, POOL_RECORDS_PER_RESPONSE, PoolNTPNameserver
@@ -72,7 +73,7 @@ class TestbedConfig:
     nameserver_udp_payload_limit: Optional[int] = None
     #: Stream transports the nameserver serves ("tcp", "dot", "doh");
     #: normally provisioned by the ``encrypted_transport`` defense.
-    nameserver_transports: Tuple[str, ...] = ()
+    nameserver_transports: tuple[str, ...] = ()
     #: Certificate key for the encrypted transports (the zone's TLS
     #: identity); provisioned by the ``encrypted_transport`` defense.
     transport_cert_key: Optional[str] = None
@@ -111,7 +112,7 @@ class Testbed:
     config: TestbedConfig
     simulator: Simulator
     network: Network
-    benign_servers: List[NTPServer]
+    benign_servers: list[NTPServer]
     nameserver: PoolNTPNameserver
     resolver: RecursiveResolver
     #: The configured defense stack (shared by the resolver and the victim's

@@ -12,8 +12,8 @@ experiments.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import List, Sequence
 
 from ..attacks.frag_poisoning import FragmentationAttackConditions
 from ..dns.message import response_size_for_a_records
@@ -43,7 +43,7 @@ class NameserverStudyReport:
     fragmenting_without_dnssec: int
     fragmenting: int
     dnssec_enabled: int
-    probes: List[NameserverProbeResult] = field(default_factory=list)
+    probes: list[NameserverProbeResult] = field(default_factory=list)
 
     @property
     def fragmenting_fraction(self) -> float:

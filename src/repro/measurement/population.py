@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 #: The MTU the companion study probed pool.ntp.org nameservers down to.
 STUDY_MTU_THRESHOLD = 548
@@ -93,7 +93,7 @@ def generate_nameserver_population(seed: int = 0,
                                    total: int = PAPER_NAMESERVER_TOTAL,
                                    fragmenting: int = PAPER_NAMESERVERS_FRAGMENTING,
                                    rng: Optional[random.Random] = None,
-                                   ) -> List[NameserverProfile]:
+                                   ) -> list[NameserverProfile]:
     """Build a nameserver population matching the published 16-of-30 marginal.
 
     ``rng`` lets experiment harnesses supply their own generator so population
@@ -104,7 +104,7 @@ def generate_nameserver_population(seed: int = 0,
         raise ValueError("fragmenting count cannot exceed the population size")
     if rng is None:
         rng = random.Random(seed)
-    profiles: List[NameserverProfile] = []
+    profiles: list[NameserverProfile] = []
     indices = list(range(total))
     rng.shuffle(indices)
     fragmenting_set = set(indices[:fragmenting])
@@ -129,7 +129,7 @@ def generate_resolver_population(seed: int = 0, total: int = 5000,
                                  accept_minimum_fraction: float = PAPER_RESOLVER_ACCEPT_MINIMUM_FRACTION,
                                  triggerable_fraction: float = PAPER_RESOLVER_TRIGGERABLE_FRACTION,
                                  rng: Optional[random.Random] = None,
-                                 ) -> List[ResolverProfile]:
+                                 ) -> list[ResolverProfile]:
     """Build a resolver population matching the published 90 % / 64 % / 14 % marginals.
 
     The fractions are enforced by construction (deterministic quotas over a
@@ -153,7 +153,7 @@ def generate_resolver_population(seed: int = 0, total: int = 5000,
     rng.shuffle(trigger_order)
     triggerable = set(trigger_order[: int(round(triggerable_fraction * total))])
 
-    profiles: List[ResolverProfile] = []
+    profiles: list[ResolverProfile] = []
     for index in range(total):
         if index in accept_minimum:
             min_mtu: Optional[int] = MINIMUM_FRAGMENT_MTU

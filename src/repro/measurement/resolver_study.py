@@ -13,8 +13,8 @@ minimal 68-byte fragments, 14 % triggerable).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
 
 from .population import MINIMUM_FRAGMENT_MTU, ResolverProfile
 
@@ -38,8 +38,8 @@ class ResolverStudyReport:
     accept_any: int
     accept_minimum: int
     triggerable: int
-    by_trigger_method: Dict[str, int] = field(default_factory=dict)
-    probes: List[ResolverProbeResult] = field(default_factory=list)
+    by_trigger_method: dict[str, int] = field(default_factory=dict)
+    probes: list[ResolverProbeResult] = field(default_factory=list)
 
     @property
     def accept_any_fraction(self) -> float:
@@ -53,7 +53,7 @@ class ResolverStudyReport:
     def triggerable_fraction(self) -> float:
         return self.triggerable / self.total if self.total else 0.0
 
-    def summary_rows(self) -> List[str]:
+    def summary_rows(self) -> list[str]:
         """The three §II statements, formatted like the paper."""
         return [
             f"{self.accept_any_fraction:.0%} of resolvers accept fragments of some size",
@@ -84,7 +84,7 @@ def probe_resolver(profile: ResolverProfile) -> ResolverProbeResult:
 def run_resolver_study(population: Sequence[ResolverProfile]) -> ResolverStudyReport:
     """Probe every resolver in the population and aggregate the statistics."""
     probes = [probe_resolver(profile) for profile in population]
-    by_method: Dict[str, int] = {}
+    by_method: dict[str, int] = {}
     for probe in probes:
         if probe.triggerable:
             by_method[probe.triggerable_via] = by_method.get(probe.triggerable_via, 0) + 1

@@ -8,8 +8,8 @@ benign and attacker NTP-server addresses.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator, List
 
 
 class AddressError(ValueError):
@@ -69,7 +69,7 @@ class Prefix:
             object.__setattr__(self, "network", self.network & mask)
 
     @classmethod
-    def parse(cls, text: str) -> "Prefix":
+    def parse(cls, text: str) -> Prefix:
         """Parse ``"a.b.c.d/len"`` (or a bare address, meaning a /32)."""
         if "/" in text:
             address, _, length_text = text.partition("/")
@@ -117,7 +117,7 @@ class AddressAllocator:
         self._next += 1
         return address
 
-    def allocate_many(self, count: int) -> List[str]:
+    def allocate_many(self, count: int) -> list[str]:
         """Allocate ``count`` consecutive addresses."""
         return [self.allocate() for _ in range(count)]
 

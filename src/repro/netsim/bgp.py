@@ -16,7 +16,7 @@ Amazon Route 53 incident cited by the paper) exploit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Optional
 
 from .addresses import Prefix
 
@@ -34,9 +34,9 @@ class RouteAnnouncement:
 class RoutingTable:
     """Longest-prefix-match forwarding state shared by the simulated network."""
 
-    announcements: List[RouteAnnouncement] = field(default_factory=list)
+    announcements: list[RouteAnnouncement] = field(default_factory=list)
     #: history of hijacks, useful for experiment reporting
-    hijacks: List[RouteAnnouncement] = field(default_factory=list)
+    hijacks: list[RouteAnnouncement] = field(default_factory=list)
 
     def announce(self, prefix: str, origin: str, legitimate: bool = True) -> RouteAnnouncement:
         """Add an announcement.  Illegitimate announcements are recorded as hijacks."""
@@ -72,7 +72,7 @@ class RoutingTable:
                 best_index = index
         return best.origin if best else None
 
-    def hijacked_destinations(self) -> Dict[str, str]:
+    def hijacked_destinations(self) -> dict[str, str]:
         """Map of hijacked prefixes (as strings) to the hijacker origin."""
         return {str(a.prefix): a.origin for a in self.hijacks}
 
@@ -98,7 +98,7 @@ class BGPHijack:
         self.prefix = prefix
         self.hijacker = hijacker
 
-    def __enter__(self) -> "BGPHijack":
+    def __enter__(self) -> BGPHijack:
         self.table.announce(self.prefix, self.hijacker, legitimate=False)
         return self
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from .packets import IPV4_HEADER_SIZE, UDP_HEADER_SIZE, IPPacket, PacketError, UDPDatagram
 
@@ -41,7 +41,7 @@ class OverlapPolicy(enum.Enum):
     DROP = "drop"
 
 
-def fragment_datagram(datagram: UDPDatagram, ip_id: int, mtu: int) -> List[IPPacket]:
+def fragment_datagram(datagram: UDPDatagram, ip_id: int, mtu: int) -> list[IPPacket]:
     """Fragment a UDP datagram into IPv4 packets that fit within ``mtu``.
 
     The UDP header occupies the first 8 bytes of the IP payload; fragments
@@ -70,7 +70,7 @@ def fragment_datagram(datagram: UDPDatagram, ip_id: int, mtu: int) -> List[IPPac
     # Per-fragment payload must be a multiple of 8 bytes.
     per_fragment = (max_ip_payload // 8) * 8
     wire = _udp_wire_bytes(datagram)
-    fragments: List[IPPacket] = []
+    fragments: list[IPPacket] = []
     offset = 0
     while offset < len(wire):
         chunk = wire[offset:offset + per_fragment]
@@ -129,7 +129,7 @@ def parse_udp_wire(src_ip: str, dst_ip: str, wire: bytes) -> UDPDatagram:
 class _ReassemblyEntry:
     """State for one in-progress reassembly (one IP-ID)."""
 
-    chunks: Dict[int, bytes] = field(default_factory=dict)
+    chunks: dict[int, bytes] = field(default_factory=dict)
     total_length: Optional[int] = None
     created_at: float = 0.0
     poisoned: bool = False
@@ -162,7 +162,7 @@ class ReassemblyBuffer:
         self.overlap_policy = overlap_policy
         self.timeout = timeout
         self.capacity = capacity
-        self._entries: Dict[Tuple, _ReassemblyEntry] = {}
+        self._entries: dict[tuple, _ReassemblyEntry] = {}
         self.completed = 0
         self.expired = 0
         self.overlaps_seen = 0
@@ -255,7 +255,7 @@ class ReassemblyBuffer:
         if position < end:
             entry.chunks[position] = payload[position - offset:]
 
-    def _try_complete(self, key: Tuple, entry: _ReassemblyEntry) -> Optional[UDPDatagram]:
+    def _try_complete(self, key: tuple, entry: _ReassemblyEntry) -> Optional[UDPDatagram]:
         """Return the reassembled datagram if the byte range is fully covered."""
         if entry.total_length is None:
             return None

@@ -22,8 +22,9 @@ needs.  On-path attackers are modelled with taps.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Optional
 
 from .bgp import RoutingTable
 from .fragmentation import OverlapPolicy, ReassemblyBuffer, fragment_datagram
@@ -60,7 +61,7 @@ class Host:
     the fragmentation-poisoning vector depends on it.
     """
 
-    def __init__(self, network: "Network", address: str, name: Optional[str] = None,
+    def __init__(self, network: Network, address: str, name: Optional[str] = None,
                  overlap_policy: OverlapPolicy = OverlapPolicy.FIRST_WINS) -> None:
         self.network = network
         self.address = address
@@ -78,7 +79,7 @@ class Host:
         network.register(self)
 
     @property
-    def tcp(self) -> "TCPStack":
+    def tcp(self) -> TCPStack:
         """This host's TCP endpoint table, created on first use.
 
         Datagram-only hosts never pay for it; hosts that listen or connect
@@ -139,11 +140,11 @@ class Network:
         self.simulator = simulator
         self.default_link = default_link or LinkProperties()
         self.routing_table = routing_table or RoutingTable()
-        self._hosts: Dict[str, Host] = {}
-        self._links: Dict[Tuple[str, str], LinkProperties] = {}
-        self._path_mtu: Dict[str, int] = {}
-        self._taps: List[Tap] = []
-        self._next_ip_id: Dict[str, int] = {}
+        self._hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], LinkProperties] = {}
+        self._path_mtu: dict[str, int] = {}
+        self._taps: list[Tap] = []
+        self._next_ip_id: dict[str, int] = {}
         self.packets_sent = 0
         self.packets_dropped = 0
         self.packets_injected = 0

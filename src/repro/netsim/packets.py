@@ -95,7 +95,7 @@ class UDPDatagram:
         """Total UDP datagram size (header + payload) in bytes."""
         return UDP_HEADER_SIZE + len(self.payload)
 
-    def with_valid_checksum(self) -> "UDPDatagram":
+    def with_valid_checksum(self) -> UDPDatagram:
         """Return a copy whose checksum field is correctly computed."""
         value = udp_checksum(self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.payload)
         return replace(self, checksum=value)

@@ -27,7 +27,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Callable, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Optional
 
 
 class SimulationError(RuntimeError):
@@ -48,7 +49,7 @@ class _ScheduledEvent:
 
 #: Heap entry: (time, sequence, event).  Events scheduled for the same
 #: simulated instant fire in insertion order, which keeps traces stable.
-_HeapEntry = Tuple[float, int, _ScheduledEvent]
+_HeapEntry = tuple[float, int, _ScheduledEvent]
 
 
 class EventHandle:
@@ -56,7 +57,7 @@ class EventHandle:
 
     __slots__ = ("_event", "_simulator")
 
-    def __init__(self, event: _ScheduledEvent, simulator: "Simulator") -> None:
+    def __init__(self, event: _ScheduledEvent, simulator: Simulator) -> None:
         self._event = event
         self._simulator = simulator
 
@@ -103,7 +104,7 @@ class Simulator:
 
     def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: List[_HeapEntry] = []
+        self._queue: list[_HeapEntry] = []
         self._sequence = itertools.count()
         self._running = False
         self._cancelled_pending = 0

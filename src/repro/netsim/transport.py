@@ -46,8 +46,9 @@ from __future__ import annotations
 
 import enum
 import hashlib
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Optional
 
 from .packets import IPV4_HEADER_SIZE, PROTO_TCP, IPPacket, PacketError
 
@@ -111,7 +112,7 @@ class TCPSegment:
         return header + self.payload
 
     @classmethod
-    def decode(cls, data: bytes) -> "TCPSegment":
+    def decode(cls, data: bytes) -> TCPSegment:
         if len(data) < TCP_HEADER_SIZE:
             raise PacketError("truncated TCP header")
         offset = (data[12] >> 4) * 4
@@ -139,7 +140,7 @@ class ConnectionState(enum.Enum):
 
 
 #: (remote_ip, remote_port, local_port) — how a stack demultiplexes segments.
-ConnectionKey = Tuple[str, int, int]
+ConnectionKey = tuple[str, int, int]
 
 
 class Connection:
@@ -152,7 +153,7 @@ class Connection:
     :class:`SecureChannel` wire them up.
     """
 
-    def __init__(self, stack: "TCPStack", local_port: int, remote_ip: str,
+    def __init__(self, stack: TCPStack, local_port: int, remote_ip: str,
                  remote_port: int, isn: int, state: ConnectionState) -> None:
         self.stack = stack
         self.local_port = local_port
@@ -165,7 +166,7 @@ class Connection:
         self.snd_nxt = (isn + 1) % _SEQ_MOD
         #: Next in-order sequence number we expect from the peer.
         self.rcv_nxt: Optional[int] = None
-        self._out_of_order: Dict[int, bytes] = {}
+        self._out_of_order: dict[int, bytes] = {}
         self.bytes_sent = 0
         self.bytes_received = 0
         #: Segments that failed the sequence/ack checks — blind injections.
@@ -326,7 +327,7 @@ class Connection:
 class Listener:
     """A passive TCP endpoint with a finite half-open backlog."""
 
-    def __init__(self, stack: "TCPStack", port: int,
+    def __init__(self, stack: TCPStack, port: int,
                  on_connection: Callable[[Connection], None],
                  backlog: int = DEFAULT_BACKLOG,
                  syn_timeout: float = SYN_TIMEOUT) -> None:
@@ -335,7 +336,7 @@ class Listener:
         self.on_connection = on_connection
         self.backlog = backlog
         self.syn_timeout = syn_timeout
-        self.half_open: Dict[ConnectionKey, Connection] = {}
+        self.half_open: dict[ConnectionKey, Connection] = {}
         self.connections_accepted = 0
         #: SYNs dropped because every backlog slot was occupied — the
         #: observable footprint of a SYN flood.
@@ -380,11 +381,11 @@ class Listener:
 class TCPStack:
     """Per-host TCP endpoint table; created lazily via ``Host.tcp``."""
 
-    def __init__(self, host: "Host") -> None:
+    def __init__(self, host: Host) -> None:
         self.host = host
         self.network = host.network
-        self.listeners: Dict[int, Listener] = {}
-        self.connections: Dict[ConnectionKey, Connection] = {}
+        self.listeners: dict[int, Listener] = {}
+        self.connections: dict[ConnectionKey, Connection] = {}
         self.segments_received = 0
         self.segments_rejected = 0
         self.syns_dropped = 0
@@ -589,9 +590,9 @@ class _RecordDecoder:
     def __init__(self) -> None:
         self._buffer = bytearray()
 
-    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+    def feed(self, data: bytes) -> list[tuple[int, bytes]]:
         self._buffer += data
-        records: List[Tuple[int, bytes]] = []
+        records: list[tuple[int, bytes]] = []
         while len(self._buffer) >= 3:
             length = int.from_bytes(self._buffer[1:3], "big")
             if len(self._buffer) < 3 + length:
@@ -659,13 +660,13 @@ class SecureChannel(StreamSocket):
     # -- constructors ----------------------------------------------------------
     @classmethod
     def client(cls, connection: Connection, rng, *, expected_identity: str,
-               trust_anchor: str) -> "SecureChannel":
+               trust_anchor: str) -> SecureChannel:
         return cls(connection, rng, client=True,
                    expected_identity=expected_identity, trust_anchor=trust_anchor)
 
     @classmethod
     def server(cls, connection: Connection, rng, *, identity: str,
-               cert_key: str) -> "SecureChannel":
+               cert_key: str) -> SecureChannel:
         return cls(connection, rng, client=False, identity=identity,
                    cert_key=cert_key)
 
@@ -732,7 +733,7 @@ class SecureChannel(StreamSocket):
 
     def _abort(self, reason: str) -> None:
         if self.connection.established:
-            self.connection.send(_frame_record(_REC_ALERT, reason.encode("utf-8")))
+            self.connection.send(_frame_record(_REC_ALERT, reason.encode()))
         self.connection.close()
         self._fire_failure(reason)
 

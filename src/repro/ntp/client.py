@@ -15,7 +15,7 @@ one shot at the poisoning race instead of 24.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 from ..defenses.stack import DefenseStack
 from ..dns.resolver import DNSStub
@@ -34,7 +34,7 @@ class PollRecord:
     """Diagnostics for one completed poll round."""
 
     started_at: float
-    samples: List[TimeSample] = field(default_factory=list)
+    samples: list[TimeSample] = field(default_factory=list)
     result: Optional[SelectionResult] = None
     applied_offset: Optional[float] = None
 
@@ -62,8 +62,8 @@ class TraditionalNTPClient(Host):
         #: Optional cap on the per-poll adjustment ("panic threshold" in
         #: ntpd terms); None applies the computed offset unconditionally.
         self.max_adjustment = max_adjustment
-        self.servers: List[str] = []
-        self.poll_history: List[PollRecord] = []
+        self.servers: list[str] = []
+        self.poll_history: list[PollRecord] = []
         self.error_trace = ClockErrorTrace()
         self.started = False
         self._current_poll: Optional[PollRecord] = None
@@ -77,7 +77,7 @@ class TraditionalNTPClient(Host):
         self.started = True
         self.dns.lookup(self.hostname, self._on_resolved)
 
-    def _on_resolved(self, addresses: List[str]) -> None:
+    def _on_resolved(self, addresses: list[str]) -> None:
         self.servers = addresses[: self.max_servers]
         if not self.servers:
             # Resolution failed; retry after a backoff, as real clients do.

@@ -11,7 +11,6 @@ true time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
 
 from ..netsim.simulator import Simulator
 
@@ -40,7 +39,7 @@ class SystemClock:
         self.drift_ppm = drift_ppm
         self._drift_reference = simulator.now
         self._accumulated_drift = 0.0
-        self.adjustments: List[ClockAdjustment] = []
+        self.adjustments: list[ClockAdjustment] = []
 
     # -- reading ----------------------------------------------------------
     def true_time(self) -> float:
@@ -81,7 +80,7 @@ class SystemClock:
 class ClockErrorTrace:
     """Samples of a clock's error over time, for plotting/aggregation."""
 
-    samples: List[Tuple[float, float]] = field(default_factory=list)
+    samples: list[tuple[float, float]] = field(default_factory=list)
 
     def record(self, clock: SystemClock) -> None:
         self.samples.append((clock.simulator.now, clock.error))

@@ -58,14 +58,14 @@ class NTPPacket:
 
     # -- constructors -------------------------------------------------------
     @classmethod
-    def client_request(cls, transmit_time: float) -> "NTPPacket":
+    def client_request(cls, transmit_time: float) -> NTPPacket:
         """A mode-3 request; only the transmit timestamp is meaningful."""
         return cls(mode=NTPMode.CLIENT, transmit_time=transmit_time)
 
     def server_reply(self, receive_time: float, transmit_time: float, stratum: int,
                      reference_time: float, reference_id: int = 0,
                      root_delay: float = 0.0, root_dispersion: float = 0.0,
-                     leap: LeapIndicator = LeapIndicator.NO_WARNING) -> "NTPPacket":
+                     leap: LeapIndicator = LeapIndicator.NO_WARNING) -> NTPPacket:
         """Build the mode-4 reply to this request (origin = our transmit)."""
         return NTPPacket(
             mode=NTPMode.SERVER,
@@ -81,7 +81,7 @@ class NTPPacket:
             transmit_time=transmit_time,
         )
 
-    def shifted(self, shift: float) -> "NTPPacket":
+    def shifted(self, shift: float) -> NTPPacket:
         """Copy with server-side timestamps shifted by ``shift`` seconds.
 
         This is what a malicious (or MitM-rewritten) server reply looks like:
@@ -126,7 +126,7 @@ class NTPPacket:
         return bytes(out)
 
     @classmethod
-    def decode(cls, data: bytes) -> "NTPPacket":
+    def decode(cls, data: bytes) -> NTPPacket:
         if len(data) < NTP_PACKET_SIZE:
             raise PacketFormatError(f"NTP packet too short: {len(data)} bytes")
         leap = LeapIndicator((data[0] >> 6) & 0x3)

@@ -10,8 +10,9 @@ origin timestamp (the standard anti-spoofing nonce), and produces a
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Optional
 
 from ..netsim.network import Host
 from ..netsim.packets import UDPDatagram
@@ -56,7 +57,7 @@ class NTPQuerier:
         self.host = host
         self.clock = clock
         self.timeout = timeout
-        self._pending: Dict[Tuple[str, int], _PendingQuery] = {}
+        self._pending: dict[tuple[str, int], _PendingQuery] = {}
         self.queries_sent = 0
         self.responses_received = 0
         self.timeouts = 0
@@ -92,7 +93,7 @@ class NTPQuerier:
             )
         )
 
-    def _on_timeout(self, key: Tuple[str, int]) -> None:
+    def _on_timeout(self, key: tuple[str, int]) -> None:
         pending = self._pending.pop(key, None)
         if pending is None:
             return

@@ -18,9 +18,10 @@ query to poison.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from statistics import median
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional
 
 from .query import TimeSample
 
@@ -30,15 +31,15 @@ class SelectionResult:
     """Outcome of a selection/combine run over a set of samples."""
 
     offset: Optional[float]
-    survivors: Tuple[TimeSample, ...]
-    rejected: Tuple[TimeSample, ...]
+    survivors: tuple[TimeSample, ...]
+    rejected: tuple[TimeSample, ...]
 
     @property
     def succeeded(self) -> bool:
         return self.offset is not None
 
 
-def sample_interval(sample: TimeSample, margin: Optional[float] = None) -> Tuple[float, float]:
+def sample_interval(sample: TimeSample, margin: Optional[float] = None) -> tuple[float, float]:
     """Confidence interval for a sample's offset.
 
     The margin defaults to half the round-trip delay plus the server's root
@@ -49,7 +50,7 @@ def sample_interval(sample: TimeSample, margin: Optional[float] = None) -> Tuple
     return (sample.offset - margin, sample.offset + margin)
 
 
-def marzullo_intersection(intervals: Sequence[Tuple[float, float]]) -> Tuple[int, Optional[Tuple[float, float]]]:
+def marzullo_intersection(intervals: Sequence[tuple[float, float]]) -> tuple[int, Optional[tuple[float, float]]]:
     """Marzullo's algorithm: the interval contained in the most input intervals.
 
     Returns ``(count, interval)`` where ``count`` is the number of source
@@ -58,7 +59,7 @@ def marzullo_intersection(intervals: Sequence[Tuple[float, float]]) -> Tuple[int
     """
     if not intervals:
         return 0, None
-    edges: List[Tuple[float, int]] = []
+    edges: list[tuple[float, int]] = []
     for low, high in intervals:
         if high < low:
             low, high = high, low
@@ -95,7 +96,7 @@ def marzullo_intersection(intervals: Sequence[Tuple[float, float]]) -> Tuple[int
 
 
 def select_truechimers(samples: Sequence[TimeSample],
-                       minimum_agreeing: int = 1) -> Tuple[List[TimeSample], List[TimeSample]]:
+                       minimum_agreeing: int = 1) -> tuple[list[TimeSample], list[TimeSample]]:
     """Split samples into truechimers (agreeing majority) and falsetickers."""
     valid = [sample for sample in samples if sample.plausible]
     if not valid:
@@ -116,7 +117,7 @@ def select_truechimers(samples: Sequence[TimeSample],
     return truechimers, falsetickers
 
 
-def cluster_survivors(samples: Sequence[TimeSample], max_survivors: int = 10) -> List[TimeSample]:
+def cluster_survivors(samples: Sequence[TimeSample], max_survivors: int = 10) -> list[TimeSample]:
     """Iteratively drop the sample farthest from the median offset."""
     survivors = list(samples)
     while len(survivors) > max(3, 1) and len(survivors) > max_survivors:

@@ -9,7 +9,8 @@ once the time-shifting phase of the attack starts.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
+from typing import Optional
 
 from ..netsim.network import Host, Network
 from ..netsim.packets import UDPDatagram

@@ -28,9 +28,10 @@ Two pieces of the packet-level model vectorize exactly:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from statistics import mean
-from typing import Any, List, Optional, Sequence
+from typing import Any, Optional
 
 from ..core.selection import ChronosConfig, SelectionStatus
 
@@ -125,7 +126,7 @@ class ClientComposition:
     def attacker_has_two_thirds(self) -> bool:
         return self.pool_size > 0 and self.malicious * 3 >= self.pool_size * 2
 
-    def poisoned_queries(self) -> List[int]:
+    def poisoned_queries(self) -> list[int]:
         """1-indexed query indices whose accepted records include attacker
         addresses — the poisoned query plus its cache-hit repeats."""
         if self.poisoned_query_count == 0:
@@ -166,7 +167,7 @@ def compose_client(policy: FleetPolicy, poison_at_query: int) -> ClientCompositi
 
 
 def batch_pool_composition(policy: FleetPolicy,
-                           poison_queries: Sequence[int]) -> List[ClientComposition]:
+                           poison_queries: Sequence[int]) -> list[ClientComposition]:
     """Compositions for a population of per-client poisoning indices.
 
     The distinct values of ``poison_queries`` number at most
@@ -185,18 +186,18 @@ def batch_pool_composition(policy: FleetPolicy,
 class BatchSelection:
     """Element-wise outcomes of a batched selection call."""
 
-    statuses: List[SelectionStatus]
-    offsets: List[Optional[float]]
+    statuses: list[SelectionStatus]
+    offsets: list[Optional[float]]
 
     def __len__(self) -> int:
         return len(self.statuses)
 
     @property
-    def accepted(self) -> List[bool]:
+    def accepted(self) -> list[bool]:
         return [status is SelectionStatus.OK for status in self.statuses]
 
 
-def _sorted_rows(rows: Sequence[Sequence[float]], np: Optional[Any]) -> List[List[float]]:
+def _sorted_rows(rows: Sequence[Sequence[float]], np: Optional[Any]) -> list[list[float]]:
     """Rows sorted ascending; numpy sorts rectangular batches in one call."""
     if np is not None:
         array = np.asarray(rows, dtype=np.float64)
@@ -219,8 +220,8 @@ def batch_chronos_select(rows: Sequence[Sequence[float]], config: ChronosConfig,
     minimum_required = 2 * trim + 1
     window = config.agreement_window
     bound = config.local_bound(elapsed_since_update)
-    statuses: List[SelectionStatus] = []
-    offsets: List[Optional[float]] = []
+    statuses: list[SelectionStatus] = []
+    offsets: list[Optional[float]] = []
     for ordered in _sorted_rows(rows, np):
         if len(ordered) < minimum_required:
             statuses.append(SelectionStatus.TOO_FEW_SAMPLES)
@@ -248,8 +249,8 @@ def batch_panic_select(rows: Sequence[Sequence[float]],
 
     Matches :func:`repro.core.selection.panic_select` element-wise.
     """
-    statuses: List[SelectionStatus] = []
-    offsets: List[Optional[float]] = []
+    statuses: list[SelectionStatus] = []
+    offsets: list[Optional[float]] = []
     for ordered in _sorted_rows(rows, np):
         trim = len(ordered) // 3
         survivors = ordered[trim:len(ordered) - trim] if len(ordered) > 2 * trim else ordered

@@ -47,8 +47,9 @@ the client's first poisoned query rather than the resolver's poison time
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Optional
 
 from ..core.selection import ChronosConfig
 from .batch import ClientComposition, FleetPolicy, compose_client
@@ -83,7 +84,7 @@ class FleetConfig:
     stagger_window: float = 86400.0
     #: ...unless pinned explicitly (used by the equivalence gate to hit every
     #: poison index deterministically).  Length must equal ``population``.
-    explicit_starts: Optional[Tuple[float, ...]] = None
+    explicit_starts: Optional[tuple[float, ...]] = None
     policy: FleetPolicy = field(default_factory=FleetPolicy)
     chronos: ChronosConfig = field(default_factory=ChronosConfig)
     hijack_start: float = 90000.0
@@ -116,7 +117,7 @@ class FleetConfig:
             return self.population
         return self.client_offset + self.clients
 
-    def population_key(self) -> Tuple:
+    def population_key(self) -> tuple:
         """Everything the resolver poison map depends on (memoisation key)."""
         return (self.seed, self.total_population, self.resolvers,
                 self.stagger_window, self.explicit_starts,
@@ -144,11 +145,11 @@ def _population_starts(config: FleetConfig, lo: int, hi: int,
     return [u * config.stagger_window for u in uniforms]
 
 
-_POISON_MEMO: Dict[Tuple, Dict[int, float]] = {}
+_POISON_MEMO: dict[tuple, dict[int, float]] = {}
 
 
 def resolver_poison_times(config: FleetConfig,
-                          np: Optional[Any]) -> Dict[int, float]:
+                          np: Optional[Any]) -> dict[int, float]:
     """``{resolver id: poison time}`` for the resolvers hijacking reaches.
 
     Computed from the *whole* population (ids ``0..population``), never the
@@ -170,7 +171,7 @@ def resolver_poison_times(config: FleetConfig,
     # Query offsets that can land inside the walk window per client.
     candidates = int((window_hi - window_lo) // interval) + 2
 
-    events: List[Tuple[int, float, int]] = []  # (resolver, time, gid)
+    events: list[tuple[int, float, int]] = []  # (resolver, time, gid)
     if np is not None and config.explicit_starts is None and total > 0:
         starts = _population_starts(config, 0, total, np)
         gids = np.arange(total, dtype=np.int64)
@@ -203,8 +204,8 @@ def resolver_poison_times(config: FleetConfig,
     # it from fetch time), and the first miss at or after hijack_start is the
     # poisoning.
     events.sort()
-    poisoned: Dict[int, float] = {}
-    cache_until: Dict[int, float] = {}
+    poisoned: dict[int, float] = {}
+    cache_until: dict[int, float] = {}
     for resolver, when, _gid in events:
         if resolver in poisoned:
             continue
@@ -224,7 +225,7 @@ def resolver_poison_times(config: FleetConfig,
 # ---------------------------------------------------------------------------
 
 def cohort_poison_queries(config: FleetConfig, np: Optional[Any]
-                          ) -> Tuple[Any, Any, Dict[int, float]]:
+                          ) -> tuple[Any, Any, dict[int, float]]:
     """``(starts, poison_queries, poison_map)`` for the cohort's clients.
 
     ``poison_queries[i]`` is the 1-indexed query at which cohort client ``i``
@@ -257,7 +258,7 @@ def cohort_poison_queries(config: FleetConfig, np: Optional[Any]
         ks = np.where(~reached | (ks > query_count), 0, ks)
         return starts, ks, poisoned
 
-    ks: List[int] = []
+    ks: list[int] = []
     for index, start in enumerate(starts):
         gid = lo + index
         when = poisoned.get(gid % config.resolvers)
@@ -285,8 +286,8 @@ def cohort_poison_queries(config: FleetConfig, np: Optional[Any]
 class _GroupShift:
     """Shift-phase outcome of one composition group (python lists)."""
 
-    achieved: List[float]
-    panic_rounds: List[int]
+    achieved: list[float]
+    panic_rounds: list[int]
     updates_run: int  # identical for every member of the group
 
 
@@ -399,9 +400,9 @@ class FleetEngine:
         self.np = resolve_backend(config.backend)
 
     # -- helpers -----------------------------------------------------------
-    def _group_indices(self, ks: Any) -> Dict[int, List[int]]:
+    def _group_indices(self, ks: Any) -> dict[int, list[int]]:
         """Cohort indices grouped by poison query (hence by composition)."""
-        groups: Dict[int, List[int]] = {}
+        groups: dict[int, list[int]] = {}
         if self.np is not None:
             np = self.np
             for k in np.unique(ks).tolist():
@@ -412,16 +413,16 @@ class FleetEngine:
         return groups
 
     # -- runs --------------------------------------------------------------
-    def run(self) -> Dict[str, Any]:
+    def run(self) -> dict[str, Any]:
         """Aggregate metrics only — never materialises per-client records."""
         metrics, _ = self._run(detailed=False)
         return metrics
 
-    def run_detailed(self) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    def run_detailed(self) -> tuple[dict[str, Any], list[dict[str, Any]]]:
         """Aggregates plus one record per client (gate / debugging sizes)."""
         return self._run(detailed=True)
 
-    def _run(self, detailed: bool) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    def _run(self, detailed: bool) -> tuple[dict[str, Any], list[dict[str, Any]]]:
         config = self.config
         np = self.np
         starts, ks, poisoned = cohort_poison_queries(config, np)
@@ -433,7 +434,7 @@ class FleetEngine:
         malicious_total = 0
         cache_hits_total = 0
         two_thirds = 0
-        fraction_terms: List[float] = []
+        fraction_terms: list[float] = []
         for k, indices in groups.items():
             comp = compositions[k]
             count = len(indices)
@@ -447,7 +448,7 @@ class FleetEngine:
                 fraction_terms.append(count * (comp.malicious / comp.pool_size))
 
         clients = config.clients
-        metrics: Dict[str, Any] = {
+        metrics: dict[str, Any] = {
             "clients": clients,
             "client_offset": config.client_offset,
             "population": config.total_population,
@@ -465,9 +466,9 @@ class FleetEngine:
         metrics["mean_attacker_fraction"] = (
             metrics["attacker_fraction_sum"] / clients if clients else 0.0)
 
-        shifts: Dict[int, _GroupShift] = {}
+        shifts: dict[int, _GroupShift] = {}
         if config.run_time_shift:
-            shift_values: List[float] = []
+            shift_values: list[float] = []
             panic_total = 0
             updates_total = 0
             achieved_count = 0
@@ -495,17 +496,17 @@ class FleetEngine:
 
         start_list = starts.tolist() if np is not None else list(starts)
         k_list = ks.tolist() if np is not None else list(ks)
-        records: List[Dict[str, Any]] = []
+        records: list[dict[str, Any]] = []
         # Map each cohort index back to its position within its group so the
         # per-group shift outcomes can be read off.
-        group_pos: Dict[int, int] = {}
+        group_pos: dict[int, int] = {}
         for k, indices in groups.items():
             for pos, index in enumerate(indices):
                 group_pos[index] = pos
         for index in range(clients):
             k = int(k_list[index])
             comp = compositions[k]
-            record: Dict[str, Any] = {
+            record: dict[str, Any] = {
                 "client": config.client_offset + index,
                 "start": start_list[index],
                 "resolver": (config.client_offset + index) % config.resolvers,

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
+from typing import Any, Optional
 
 from ..core.selection import ChronosConfig
 from ..experiments.runner import run_scenario
@@ -101,7 +102,7 @@ def _shift_comparable(record: Mapping[str, Any]) -> bool:
 
 
 def _canonical(client: int, seed: int, poison_at_query: Optional[int],
-               metrics: Mapping[str, Any], with_shift: bool) -> Dict[str, Any]:
+               metrics: Mapping[str, Any], with_shift: bool) -> dict[str, Any]:
     record = {
         "client": client,
         "seed": seed,
@@ -123,7 +124,7 @@ def _canonical(client: int, seed: int, poison_at_query: Optional[int],
     return record
 
 
-def fleet_gate_records(seed: int, **gate_kwargs: Any) -> List[Dict[str, Any]]:
+def fleet_gate_records(seed: int, **gate_kwargs: Any) -> list[dict[str, Any]]:
     """Canonical per-client records of the gate population, engine path."""
     config = gate_fleet_config(seed, **gate_kwargs)
     _, details = FleetEngine(config).run_detailed()
@@ -138,7 +139,7 @@ def fleet_gate_records(seed: int, **gate_kwargs: Any) -> List[Dict[str, Any]]:
 
 
 def packet_gate_records(seed: int, fleet_records: Sequence[Mapping[str, Any]],
-                        **gate_kwargs: Any) -> List[Dict[str, Any]]:
+                        **gate_kwargs: Any) -> list[dict[str, Any]]:
     """The same clients, each replayed through the packet-level testbed.
 
     The packet simulator models one victim per run; a gate client maps onto
@@ -173,18 +174,18 @@ def population_digest(records: Sequence[Mapping[str, Any]]) -> str:
     """SHA-256 of the canonical JSON encoding of per-client records."""
     payload = json.dumps(list(records), sort_keys=True,
                          separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def equivalence_digests(seeds: Sequence[int],
-                        **gate_kwargs: Any) -> Tuple[str, str]:
+                        **gate_kwargs: Any) -> tuple[str, str]:
     """``(packet_digest, fleet_digest)`` over the gate population and seeds.
 
     Equality means the vectorized engine and the packet simulator agree on
     every compared field of every client for every seed.
     """
-    packet_all: List[Dict[str, Any]] = []
-    fleet_all: List[Dict[str, Any]] = []
+    packet_all: list[dict[str, Any]] = []
+    fleet_all: list[dict[str, Any]] = []
     for seed in seeds:
         fleet = fleet_gate_records(seed, **gate_kwargs)
         fleet_all.extend(fleet)

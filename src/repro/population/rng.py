@@ -27,7 +27,8 @@ from __future__ import annotations
 import math
 import os
 from bisect import bisect_right
-from typing import Any, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Any, Optional
 
 MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -154,7 +155,7 @@ class HypergeomSampler:
         self.low = max(0, sample - (pool - malicious))
         self.high = min(sample, malicious)
         total = math.comb(pool, sample)
-        cdf: List[float] = []
+        cdf: list[float] = []
         acc = 0.0
         for j in range(self.low, self.high + 1):
             weight = math.comb(malicious, j) * math.comb(pool - malicious, sample - j)
@@ -183,7 +184,7 @@ _SAMPLER_CACHE: dict = {}
 
 def hypergeom_sampler(pool: int, malicious: int, sample: int) -> HypergeomSampler:
     """Memoised :class:`HypergeomSampler` (tables are tiny and reusable)."""
-    key: Tuple[int, int, int] = (pool, malicious, sample)
+    key: tuple[int, int, int] = (pool, malicious, sample)
     sampler = _SAMPLER_CACHE.get(key)
     if sampler is None:
         sampler = HypergeomSampler(pool, malicious, sample)

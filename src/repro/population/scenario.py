@@ -17,7 +17,8 @@ cohort records back into fleet-level totals.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from collections.abc import Iterable, Mapping
+from typing import Any, Optional
 
 from ..core.selection import ChronosConfig
 from ..experiments.registry import merge_params, register_scenario
@@ -73,7 +74,7 @@ class PopulationSweepExperiment:
     description = ("vectorized Chronos fleet: staggered clients behind shared "
                    "resolvers, closed-form pools, two-point update rounds")
 
-    def default_params(self) -> Dict[str, Any]:
+    def default_params(self) -> dict[str, Any]:
         return {
             "clients": 1000,
             "client_offset": 0,
@@ -105,15 +106,15 @@ class PopulationSweepExperiment:
             "backend": "auto",
         }
 
-    def run(self, seed: int, params: Mapping[str, Any]) -> Dict[str, Any]:
+    def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
         p = merge_params(self.default_params(), params)
         return FleetEngine(fleet_config_from_params(seed, p)).run()
 
 
 def population_specs(clients: int, cohort_size: int,
-                     seeds: Tuple[int, ...] = (1,),
+                     seeds: tuple[int, ...] = (1,),
                      base_params: Optional[Mapping[str, Any]] = None,
-                     ) -> List[ExperimentSpec]:
+                     ) -> list[ExperimentSpec]:
     """Shard a fleet into cohort tasks for the :class:`SweepScheduler`.
 
     Returns a single spec whose ``param_sets`` cover global client ids
@@ -124,7 +125,7 @@ def population_specs(clients: int, cohort_size: int,
         raise ValueError("clients cannot be negative")
     if cohort_size < 1:
         raise ValueError("cohort_size must be at least 1")
-    overlays: List[Mapping[str, Any]] = []
+    overlays: list[Mapping[str, Any]] = []
     for offset in range(0, max(clients, 1), cohort_size):
         size = min(cohort_size, clients - offset)
         if size <= 0:
@@ -144,12 +145,12 @@ _SUM_KEYS = ("clients", "clients_poisoned", "pool_benign_total",
 _FSUM_KEYS = ("attacker_fraction_sum", "achieved_shift_sum")
 
 
-def combine_cohort_metrics(metrics: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+def combine_cohort_metrics(metrics: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
     """Fold cohort aggregates (same fleet, same seed) into fleet totals."""
     cohorts = list(metrics)
     if not cohorts:
         return {}
-    combined: Dict[str, Any] = {}
+    combined: dict[str, Any] = {}
     for key in _SUM_KEYS:
         if key in cohorts[0]:
             combined[key] = sum(m[key] for m in cohorts)

@@ -9,7 +9,6 @@ fixed seeds so every test is reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import pytest
 
@@ -39,7 +38,7 @@ class SmallInternet:
 
     simulator: Simulator
     network: Network
-    ntp_servers: List[NTPServer]
+    ntp_servers: list[NTPServer]
     nameserver: PoolNTPNameserver
     resolver: RecursiveResolver
     zone: str = "pool.ntp.org"
