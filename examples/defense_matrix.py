@@ -30,14 +30,19 @@ from repro.analysis import section5_from_matrix
 from repro.experiments import RunCache, run_defense_matrix
 
 
+def _progress(done: int, total: int) -> None:
+    print(f"\r  sweep: {done}/{total} tasks", end="" if done < total else "\n",
+          file=sys.stderr, flush=True)
+
+
 def main(seed_count: int = 2, workers: int = 1, use_cache: bool = False) -> None:
     cache = RunCache() if use_cache else None
     matrix = run_defense_matrix(seeds=range(1, seed_count + 1), workers=workers,
-                                cache=cache)
+                                cache=cache, on_progress=_progress)
     print(f"== attack × defense matrix: success rates "
           f"({matrix.elapsed_seconds:.1f}s, workers={workers}) ==")
-    if cache is not None:
-        print(f"cache [{cache.path}]: {matrix.sweep_stats.formatted()}")
+    prefix = f"cache [{cache.path}]" if cache is not None else "sweep"
+    print(f"{prefix}: {matrix.sweep_stats.formatted()}")
     for line in matrix.formatted():
         print(line)
     print(f"\nmatrix digest (byte-identical across worker counts): {matrix.digest()}")

@@ -29,7 +29,13 @@ import sys
 
 from repro.dns.records import RecordType
 from repro.dns.wire import encode_name
-from repro.experiments import ExperimentRunner, TestbedConfig, build_testbed
+from repro.experiments import (
+    ExperimentSpec,
+    SweepScheduler,
+    TestbedConfig,
+    build_testbed,
+)
+from repro.experiments.runner import resolve_spec_tasks
 
 ZONE = "pool.ntp.org"
 
@@ -69,19 +75,38 @@ def act_one() -> None:
     assert not leaked
 
 
+def _progress(done: int, total: int) -> None:
+    print(f"\r  sweep: {done}/{total} tasks", end="" if done < total else "\n",
+          file=sys.stderr, flush=True)
+
+
 def act_two_and_three(seed_count: int) -> None:
     print("\n== 2+3. every off-path vector × transport policy ==")
-    seeds = range(1, seed_count + 1)
+    seeds = tuple(range(1, seed_count + 1))
+    # One flat task stream for the whole grid on a single shared scheduler
+    # (rather than one ExperimentRunner per cell) so progress is reported
+    # over the entire sweep and nothing idles at per-cell barriers.
+    tasks = [task
+             for attack, params in ATTACKS
+             for _, defenses in STACKS
+             for task in resolve_spec_tasks(ExperimentSpec(
+                 scenario=attack, seeds=seeds,
+                 base_params={**params, "defenses": defenses}))]
+    scheduler = SweepScheduler(on_progress=_progress)
+    records, stats = scheduler.run_tasks(tasks)
+    print(f"  {stats.formatted()}", file=sys.stderr)
+
     width = max(len(name) for name, _ in ATTACKS)
     header = " " * width + "".join(f" {label:>20}" for label, _ in STACKS)
     print(header)
-    for attack, params in ATTACKS:
+    cursor = 0
+    for attack, _ in ATTACKS:
         row = f"{attack:<{width}}"
-        for _, defenses in STACKS:
-            result = ExperimentRunner(
-                attack, seeds=seeds,
-                base_params={**params, "defenses": defenses}).run()
-            row += f" {result.success_rate():>20.2f}"
+        for _ in STACKS:
+            cell = records[cursor:cursor + len(seeds)]
+            cursor += len(seeds)
+            rate = sum(1 for r in cell if r.metrics["attack_succeeded"]) / len(cell)
+            row += f" {rate:>20.2f}"
         print(row)
     print("\nstrict DoT clears every row (the 24h-hijack residual included);")
     print("opportunistic DoT falls to every attack that can force a downgrade.")

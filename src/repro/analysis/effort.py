@@ -194,7 +194,7 @@ def dns_attack_comparison(query_count: int = 24,
     attacker a two-thirds pool majority — strictly more opportunities for a
     strictly stronger outcome.
     """
-    rows = [
+    return [
         DNSAttackComparisonRow(
             client="traditional NTP",
             dns_queries_observable=1,
@@ -212,7 +212,6 @@ def dns_attack_comparison(query_count: int = 24,
             resulting_control=">= 2/3 of the server pool (regular + panic mode)",
         ),
     ]
-    return rows
 
 
 def poisoning_success_probability(per_query_success: float, opportunities: int) -> float:

@@ -91,6 +91,13 @@ class ImpersonatingNameserver(AuthoritativeNameserver):
         response = query.make_response(answers)
         self.hijacked_queries_answered += 1
         self.responses_sent += 1
+        obs = self.network.simulator.obs
+        if obs.enabled:
+            obs.metrics.counter("attack.hijacked_queries_answered").inc()
+            obs.trace.instant("attack.hijack_answer", category="attack",
+                              impersonating=self.impersonated_address,
+                              victim=datagram.src_ip,
+                              records=len(answers))
         self.send_datagram(
             UDPDatagram(
                 src_ip=self.impersonated_address,

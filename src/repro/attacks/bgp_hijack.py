@@ -70,6 +70,12 @@ class BGPHijackPoisoner:
                                             legitimate=False)
         self.windows.append(HijackWindow(announced_at=self.network.simulator.now))
         self._active = True
+        obs = self.network.simulator.obs
+        if obs.enabled:
+            obs.metrics.counter("attack.bgp_hijacks").inc()
+            obs.trace.instant("attack.bgp_hijack", category="attack",
+                              prefix=self.hijack_prefix(),
+                              target=self.target_nameserver)
 
     def withdraw(self) -> None:
         """Stop the hijack and restore normal routing."""

@@ -84,6 +84,15 @@ class SynFloodDowngrader:
                     spoofed=True,
                 ))
                 self.syns_sent += 1
+        obs = self.network.simulator.obs
+        if obs.enabled:
+            obs.metrics.counter("attack.syn_floods").inc()
+            obs.metrics.counter("attack.syns_sent").inc(
+                syns_per_port * len(self.ports))
+            obs.trace.instant("attack.syn_flood", category="attack",
+                              target=self.nameserver_address,
+                              syns=syns_per_port * len(self.ports),
+                              ports=len(self.ports))
 
     def sustain(self, syns_per_port: int, bursts: int, interval: float) -> None:
         """Schedule ``bursts`` refresh floods ``interval`` seconds apart."""

@@ -153,7 +153,7 @@ class FragmentationPoisoner:
             payload=forged.encode(),
         )
         fragments = fragment_datagram(forged_datagram, ip_id=ip_id, mtu=mtu)
-        spoofed = [
+        return [
             IPPacket(
                 src_ip=fragment.src_ip,
                 dst_ip=fragment.dst_ip,
@@ -170,7 +170,6 @@ class FragmentationPoisoner:
             for fragment in fragments
             if not fragment.first_fragment()
         ]
-        return spoofed
 
     # -- executing ----------------------------------------------------------------
     def plant_fragments(self, expected_response: DNSMessage, udp_src_port: int = DNS_PORT,
@@ -201,6 +200,16 @@ class FragmentationPoisoner:
                 self.network.inject(fragment)
                 report.planted_fragments += 1
         report.injected_addresses = self.attacker.ntp_addresses[: len(expected_response.answers)]
+        obs = self.network.simulator.obs
+        if obs.enabled:
+            obs.metrics.counter("attack.frag_bursts").inc()
+            obs.metrics.counter("attack.fragments_planted").inc(report.planted_fragments)
+            obs.trace.instant("attack.frag_burst", category="attack",
+                              target=self.resolver.address,
+                              impersonating=self.nameserver.address,
+                              fragments=report.planted_fragments,
+                              ipid_start=starting_ipid & 0xFFFF,
+                              ipid_window=self.ipid_window)
         self.reports.append(report)
         return report
 
@@ -211,8 +220,7 @@ class FragmentationPoisoner:
         prediction is simply "current counter + 1"; the prediction *window*
         models the uncertainty from other traffic the nameserver serves.
         """
-        counter = self.network._next_ip_id.get(self.nameserver.address, 1)
-        return counter
+        return self.network._next_ip_id.get(self.nameserver.address, 1)
 
     def verify_poisoning(self) -> bool:
         """Check whether the resolver now caches attacker addresses for the zone."""

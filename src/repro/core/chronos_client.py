@@ -136,6 +136,11 @@ class ChronosClient(Host):
         self._in_panic = True
         record.panic_used = True
         self.panic_count += 1
+        obs = self.network.simulator.obs
+        if obs.enabled:
+            obs.metrics.counter("chronos.panic_rounds").inc()
+            obs.trace.instant("chronos.panic", category="ntp",
+                              client=self.address, attempts=record.attempts)
         servers = list(self.pool.servers)
         record.sampled_servers = servers
         record.samples = []
@@ -190,6 +195,10 @@ class ChronosClient(Host):
         self.clock.adjust(offset, source="chronos")
 
     def _complete_update(self, record: ChronosUpdateRecord) -> None:
+        obs = self.network.simulator.obs
+        if obs.enabled:
+            obs.metrics.counter("chronos.updates",
+                                outcome=record.outcome.value).inc()
         self._current = None
         self._last_update_time = self.network.simulator.now
         self.update_history.append(record)

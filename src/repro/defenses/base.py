@@ -121,7 +121,6 @@ class Defense:
 
     def on_incoming_response(self, ctx: ResponseContext) -> Optional[str]:
         """Validate a response; return a reason string to reject it."""
-        return None
 
     # -- client-side hooks -------------------------------------------------------
     def on_pool_accept(self, ctx: PoolAcceptContext) -> None:
@@ -129,7 +128,6 @@ class Defense:
 
     def on_ntp_sample(self, sample: TimeSample) -> Optional[str]:
         """Veto an NTP sample; return a reason string to drop it."""
-        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

@@ -96,7 +96,6 @@ class ResponseRecordCap(Defense):
 
     def on_incoming_response(self, ctx: ResponseContext) -> Optional[str]:
         ctx.answers = ctx.answers[: self.limit]
-        return None
 
 
 @register_defense
@@ -116,7 +115,6 @@ class CacheTTLCap(Defense):
         ctx.answers = [record if record.ttl <= self.max_ttl
                        else record.with_ttl(self.max_ttl)
                        for record in ctx.answers]
-        return None
 
 
 def default_resolver_defenses(policy: ResolverPolicy) -> list[Defense]:

@@ -98,6 +98,9 @@ class AuthoritativeNameserver(Host):
         if query.is_response:
             return
         self.queries_received += 1
+        obs = self.network.simulator.obs
+        if obs.enabled:
+            obs.metrics.counter("ns.queries_received").inc()
         response = self.answer_query(query)
         if (self.udp_payload_limit is not None
                 and response.wire_size > self.udp_payload_limit):
@@ -106,9 +109,20 @@ class AuthoritativeNameserver(Host):
             # is what keeps the fragmentation-attack size knobs meaningful —
             # a server with a payload limit never emits the fragmenting
             # response the splice needs.
+            oversized = response.wire_size
             response = replace(response, answers=(), authority=(), truncated=True)
             self.truncated_responses += 1
+            if obs.enabled:
+                obs.metrics.counter("ns.responses_truncated").inc()
+                obs.trace.instant("ns.truncated", category="dns",
+                                  qname=normalise_name(query.question.name),
+                                  txid=query.transaction_id,
+                                  server=self.address,
+                                  wire_size=oversized)
         self.responses_sent += 1
+        if obs.enabled:
+            obs.metrics.counter("ns.responses_sent",
+                                truncated=response.truncated).inc()
         self.send_datagram(
             UDPDatagram(
                 src_ip=self.address,

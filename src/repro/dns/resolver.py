@@ -107,6 +107,9 @@ class RecursiveResolver(Host):
                  allowed_clients: Optional[list[str]] = None,
                  defenses: Optional[DefenseStack] = None) -> None:
         super().__init__(network, address, name=name or f"resolver-{address}")
+        #: Observability facade, cached off the simulator (response handling
+        #: is the hottest application-layer path in a poisoning sweep).
+        self._obs = network.simulator.obs
         #: zone suffix (normalised) -> authoritative nameserver address
         self.nameserver_map = {normalise_name(zone): ns for zone, ns in nameserver_map.items()}
         self.policy = policy or ResolverPolicy()
@@ -172,6 +175,14 @@ class RecursiveResolver(Host):
             self.upstream_transport = ResolverUpstreamTransport(self)
         return self.upstream_transport
 
+    def _record_rejection(self, key: tuple[int, str], defense: str, reason: str,
+                          poisoned: bool = False, spoofed: bool = False) -> None:
+        """Tag a rejected candidate with the defense verdict (obs enabled)."""
+        self._obs.metrics.counter("dns.responses_rejected", defense=defense).inc()
+        self._obs.trace.instant("dns.response.rejected", category="dns",
+                                qname=key[1], txid=key[0], defense=defense,
+                                reason=reason, poisoned=poisoned, spoofed=spoofed)
+
     # -- datagram dispatch --------------------------------------------------------
     def handle_datagram(self, datagram: UDPDatagram) -> None:
         try:
@@ -194,6 +205,8 @@ class RecursiveResolver(Host):
                                    self.network.simulator.now)
         if cached is not None:
             self.queries_answered_from_cache += 1
+            if self._obs.enabled:
+                self._obs.metrics.counter("dns.cache_hits").inc()
             now = self.network.simulator.now
             answers = [record.with_ttl(cached.remaining_ttl(now)) for record in cached.records]
             response = query.make_response(answers, authoritative=False)
@@ -251,6 +264,12 @@ class RecursiveResolver(Host):
         pending.timeout_handle = self.network.simulator.schedule(
             self.policy.query_timeout, lambda k=key: self._on_timeout(k))
         self.queries_forwarded += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("dns.queries_forwarded").inc()
+            self._obs.trace.instant("dns.query.sent", category="dns",
+                                    qname=key[1], txid=key[0],
+                                    nameserver=nameserver,
+                                    port=context.source_port)
         if self.upstream_transport is not None:
             self.upstream_transport.dispatch(key, pending)
         else:
@@ -274,17 +293,31 @@ class RecursiveResolver(Host):
         if pending is None:
             return
         self.timeouts += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("dns.query_timeouts").inc()
+            self._obs.trace.instant("dns.query.timeout", category="dns",
+                                    qname=key[1], txid=key[0])
         if pending.client_address is not None and pending.client_query is not None:
             response = pending.client_query.make_response([], rcode=ResponseCode.SERVFAIL)
             self._reply_to_client(pending.client_address, pending.client_port, response)
 
     def _handle_upstream_response(self, datagram: UDPDatagram, response: DNSMessage,
                                   via: str = "udp") -> None:
+        obs = self._obs
         key = (response.transaction_id, normalise_name(response.question.name))
         pending = self._pending.get(key)
         if pending is None:
             self.responses_rejected += 1
+            if obs.enabled:
+                obs.metrics.counter("dns.responses_unmatched").inc()
+                obs.trace.instant("dns.response.unmatched", category="dns",
+                                  qname=key[1], txid=key[0], src=datagram.src_ip)
             return
+        if obs.enabled:
+            obs.trace.instant("dns.response.candidate", category="dns",
+                              qname=key[1], txid=key[0], src=datagram.src_ip,
+                              via=via, poisoned=self.last_datagram_poisoned,
+                              truncated=response.truncated)
         if via == "udp" and pending.sent_via == "stream":
             # The query is out on an (authenticated) stream transport: no
             # datagram can legitimately answer it.  Without this check a
@@ -292,6 +325,10 @@ class RecursiveResolver(Host):
             # entirely — the resolver would be DoT on the wire and
             # poisonable by datagram.
             self.responses_rejected += 1
+            if obs.enabled:
+                self._record_rejection(key, "transport-policy",
+                                       "datagram answer to a stream query",
+                                       poisoned=self.last_datagram_poisoned)
             return
         if response.truncated and via == "udp":
             # TC=1: the response is an incomplete stub, never answer data.
@@ -307,8 +344,18 @@ class RecursiveResolver(Host):
                  and datagram.src_ip != pending.nameserver_address)
                     or datagram.dst_port != pending.source_port):
                 self.responses_rejected += 1
+                if obs.enabled:
+                    self._record_rejection(key, "classic-provenance",
+                                           "truncated stub failed provenance",
+                                           poisoned=self.last_datagram_poisoned,
+                                           spoofed=True)
                 return
             self.truncated_responses += 1
+            if obs.enabled:
+                obs.metrics.counter("dns.responses_truncated").inc()
+                obs.trace.instant("dns.response.truncated", category="dns",
+                                  qname=key[1], txid=key[0],
+                                  retry=not pending.stream_retry)
             if not pending.stream_retry:
                 pending.stream_retry = True
                 self._stream_transport().retry_over_tcp(key, pending)
@@ -323,12 +370,23 @@ class RecursiveResolver(Host):
         )
         # First rejection wins; a rejected response leaves the query pending
         # so the genuine answer (or the timeout) still resolves it.
-        if self.defenses.on_incoming_response(context) is not None:
+        verdict = self.defenses.on_incoming_response(context)
+        if verdict is not None:
             self.responses_rejected += 1
+            if obs.enabled:
+                self._record_rejection(key, verdict[0], verdict[1],
+                                       poisoned=context.poisoned)
             return
         del self._pending[key]
         if pending.timeout_handle is not None:
             pending.timeout_handle.cancel()
+        if obs.enabled:
+            obs.metrics.counter("dns.responses_accepted",
+                                poisoned=context.poisoned).inc()
+            obs.trace.instant("dns.response.accepted", category="dns",
+                              qname=key[1], txid=key[0], via=via,
+                              poisoned=context.poisoned,
+                              answers=len(context.answers))
 
         answers = context.answers
         if answers:
@@ -336,6 +394,13 @@ class RecursiveResolver(Host):
                               self.network.simulator.now, poisoned=context.poisoned)
             if context.poisoned:
                 self.poisoned_responses_accepted += 1
+            if obs.enabled:
+                obs.metrics.counter("dns.cache_writes",
+                                    poisoned=context.poisoned).inc()
+                obs.trace.instant("dns.cache.write", category="dns",
+                                  qname=key[1], txid=key[0],
+                                  poisoned=context.poisoned,
+                                  records=len(answers))
         if pending.client_address is not None and pending.client_query is not None:
             client_response = pending.client_query.make_response(list(answers),
                                                                  rcode=response.rcode,

@@ -29,7 +29,7 @@ from typing import Any, Optional
 from .cache import RunCache
 from .results import ConfidenceInterval, ExperimentResult
 from .runner import ExperimentRunner, ExperimentSpec
-from .scheduler import SweepScheduler, SweepStats
+from .scheduler import ProgressCallback, SweepScheduler, SweepStats
 
 #: Seconds of hijack that blanket the whole 24-hour generation window.
 SUSTAINED_HIJACK_DURATION = 24 * 3600.0 + 1200.0
@@ -244,7 +244,9 @@ def run_defense_matrix(attacks: Sequence[AttackSpec] = DEFAULT_ATTACKS,
                        seeds: Sequence[int] = (1, 2),
                        workers: int = 1,
                        cache: Optional[RunCache] = None,
-                       shared_scheduler: bool = True) -> DefenseMatrixResult:
+                       shared_scheduler: bool = True,
+                       on_progress: Optional[ProgressCallback] = None,
+                       collect_metrics: bool = False) -> DefenseMatrixResult:
     """Run every attack under every defense stack and aggregate per cell.
 
     One :class:`ExperimentSpec` per attack row with the stacks as that row's
@@ -255,6 +257,11 @@ def run_defense_matrix(attacks: Sequence[AttackSpec] = DEFAULT_ATTACKS,
     Either way the cell records — and therefore :meth:`DefenseMatrixResult.
     digest` — are byte-identical across worker counts, across the two
     execution paths, and across cold and warm ``cache`` runs.
+
+    ``on_progress`` and ``collect_metrics`` pass straight to the shared
+    scheduler (ignored on the legacy path): the former streams ``(done,
+    total)`` as cells complete, the latter folds every cell's metrics into
+    ``sweep_stats.metrics``.  Neither can move the digest.
     """
     attacks = tuple(attacks)
     stacks = tuple(stacks)
@@ -263,7 +270,10 @@ def run_defense_matrix(attacks: Sequence[AttackSpec] = DEFAULT_ATTACKS,
     specs = matrix_specs(attacks, stacks, seeds)
     stats: Optional[SweepStats] = None
     if shared_scheduler:
-        row_results, stats = SweepScheduler(workers=workers, cache=cache).run_specs(specs)
+        scheduler = SweepScheduler(workers=workers, cache=cache,
+                                   on_progress=on_progress,
+                                   collect_metrics=collect_metrics)
+        row_results, stats = scheduler.run_specs(specs)
     else:
         row_results = [ExperimentRunner(spec=spec, workers=workers, cache=cache).run()
                        for spec in specs]

@@ -41,6 +41,8 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import capture as _obs_capture
+from ..obs.metrics import MetricsSnapshot
 from .cache import RunCache
 from .results import ExperimentResult, RunRecord
 from .runner import ExperimentSpec, Task, _execute_task, resolve_spec_tasks
@@ -67,10 +69,47 @@ def guided_chunk_sizes(task_count: int, workers: int) -> list[int]:
     return sizes
 
 
-def _execute_chunk(job: tuple[int, list[Task]]) -> tuple[int, list[RunRecord]]:
-    """Worker entry point: run a chunk, tagged with its stream offset."""
-    start, tasks = job
-    return start, [_execute_task(task) for task in tasks]
+def _execute_task_timed(task: Task, collect_metrics: bool
+                        ) -> tuple[RunRecord, float, Optional[MetricsSnapshot]]:
+    """Run one task, measuring its wall-time and (optionally) its metrics.
+
+    Metrics collection wraps the run in a metrics-only observability
+    capture (no trace ring buffer) so the scenario's instrumented layers
+    record into a registry this function snapshots afterwards.  The
+    facade is out of band — it draws no RNG and schedules nothing — so
+    the returned :class:`RunRecord` is byte-identical either way.
+    """
+    begun = time.perf_counter()
+    if collect_metrics:
+        with _obs_capture(trace=False) as ob:
+            record = _execute_task(task)
+        snapshot = ob.metrics.snapshot()
+    else:
+        record = _execute_task(task)
+        snapshot = None
+    return record, time.perf_counter() - begun, snapshot
+
+
+def _execute_chunk(job: tuple[int, list[Task], bool]
+                   ) -> tuple[int, list[RunRecord], float, Optional[MetricsSnapshot]]:
+    """Worker entry point: run a chunk, tagged with its stream offset.
+
+    Returns the chunk's records plus its telemetry: summed task wall-time
+    and (when requested) the chunk's merged metrics snapshot — per-task
+    snapshots are folded here so only one travels back through the pool.
+    """
+    start, tasks, collect_metrics = job
+    records: list[RunRecord] = []
+    task_seconds = 0.0
+    snapshots: list[MetricsSnapshot] = []
+    for task in tasks:
+        record, duration, snapshot = _execute_task_timed(task, collect_metrics)
+        records.append(record)
+        task_seconds += duration
+        if snapshot is not None:
+            snapshots.append(snapshot)
+    merged = MetricsSnapshot.merge_all(snapshots) if collect_metrics else None
+    return start, records, task_seconds, merged
 
 
 #: Progress observer: called with ``(done, total)`` as the task stream
@@ -89,12 +128,45 @@ class SweepStats:
     chunks: int = 0
     workers: int = 1
     elapsed_seconds: float = 0.0
+    #: Summed wall-time of every executed task (the work the pool's worker
+    #: lanes actually did; cache replays contribute nothing).
+    task_seconds_total: float = 0.0
+    #: Wall-time of the slowest chunk (pooled) or task (inline) — the long
+    #: tail that guided chunking exists to keep off the critical path.
+    task_seconds_max: float = 0.0
+    #: Merged per-task metrics (``collect_metrics=True`` only): every
+    #: worker's counters folded through the associative/commutative
+    #: snapshot merge, so the fold is order- and worker-count-independent.
+    metrics: Optional[MetricsSnapshot] = None
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of the task stream replayed from the cache."""
+        return self.cache_hits / self.tasks_total if self.tasks_total else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Aggregate task time over available lane time (0..1).
+
+        Inline execution has one lane; a pooled run has ``workers``.  Low
+        utilization on a pooled sweep means workers idled — a long-tailed
+        stream or one dominated by cache replay.
+        """
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        lanes = 1 if self.executed_inline else self.workers
+        return min(self.task_seconds_total / (lanes * self.elapsed_seconds), 1.0)
 
     def formatted(self) -> str:
         mode = "inline" if self.executed_inline else f"{self.workers} workers"
-        return (f"{self.tasks_total} tasks: {self.cache_hits} cached, "
+        line = (f"{self.tasks_total} tasks: {self.cache_hits} cached "
+                f"({self.cache_hit_ratio:.0%} hit ratio), "
                 f"{self.executed} executed ({mode}, {self.chunks} chunks) "
                 f"in {self.elapsed_seconds:.2f}s")
+        if self.executed:
+            line += (f"; worker task time {self.task_seconds_total:.2f}s "
+                     f"({self.worker_utilization:.0%} utilization)")
+        return line
 
 
 class SweepScheduler:
@@ -113,15 +185,23 @@ class SweepScheduler:
         pooled — so long sweeps (million-client population shards) are not
         silent for minutes.  Called from the parent process only; exceptions
         propagate to the caller.
+    collect_metrics:
+        When True, every executed task runs under a metrics-only
+        observability capture and the per-task snapshots are merged into
+        ``SweepStats.metrics`` (shipped back through the pool one folded
+        snapshot per chunk).  Records are byte-identical either way; the
+        default keeps the hot path free of the capture.
     """
 
     def __init__(self, workers: int = 1, cache: Optional[RunCache] = None,
-                 on_progress: Optional[ProgressCallback] = None) -> None:
+                 on_progress: Optional[ProgressCallback] = None,
+                 collect_metrics: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
         self.cache = cache
         self.on_progress = on_progress
+        self.collect_metrics = collect_metrics
         self._done = 0
         self._total = 0
 
@@ -179,34 +259,52 @@ class SweepScheduler:
         tasks = [task for _, task in pending]
         # A pool only pays off when there are more tasks than workers;
         # otherwise fork/teardown costs more than the tasks themselves.
+        snapshots: list[MetricsSnapshot] = []
         if self.workers == 1 or len(tasks) <= self.workers:
             stats.executed_inline = True
             stats.chunks = len(tasks)
             results_inline: list[RunRecord] = []
             for task in tasks:
-                record = _execute_task(task)
+                record, duration, snapshot = _execute_task_timed(
+                    task, self.collect_metrics)
+                stats.task_seconds_total += duration
+                stats.task_seconds_max = max(stats.task_seconds_max, duration)
+                if snapshot is not None:
+                    snapshots.append(snapshot)
                 self._persist((record,))
                 results_inline.append(record)
                 self._report_progress(1)
+            if self.collect_metrics:
+                stats.metrics = MetricsSnapshot.merge_all(snapshots)
             return results_inline
 
-        jobs: list[tuple[int, list[Task]]] = []
+        jobs: list[tuple[int, list[Task], bool]] = []
         offset = 0
         for size in guided_chunk_sizes(len(tasks), self.workers):
-            jobs.append((offset, tasks[offset:offset + size]))
+            jobs.append((offset, tasks[offset:offset + size], self.collect_metrics))
             offset += size
         stats.chunks = len(jobs)
 
         results: list[Optional[list[RunRecord]]] = [None] * len(jobs)
-        starts = {start: slot for slot, (start, _) in enumerate(jobs)}
+        starts = {start: slot for slot, (start, _, _) in enumerate(jobs)}
         with multiprocessing.Pool(processes=self.workers) as pool:
             # Unordered completion + index-tagged chunks: fast workers move
             # on to the next chunk immediately, determinism comes from the
             # reassembly below rather than from dispatch order.
-            for start, chunk_records in pool.imap_unordered(_execute_chunk, jobs):
+            for start, chunk_records, task_seconds, snapshot in pool.imap_unordered(
+                    _execute_chunk, jobs):
                 self._persist(chunk_records)
                 results[starts[start]] = chunk_records
+                stats.task_seconds_total += task_seconds
+                stats.task_seconds_max = max(stats.task_seconds_max, task_seconds)
+                if snapshot is not None:
+                    snapshots.append(snapshot)
                 self._report_progress(len(chunk_records))
+        if self.collect_metrics:
+            # Merge order does not matter: the snapshot merge is associative
+            # and commutative (property-tested), so the folded telemetry is
+            # identical no matter which workers finished first.
+            stats.metrics = MetricsSnapshot.merge_all(snapshots)
         flattened: list[RunRecord] = []
         for chunk_records in results:
             assert chunk_records is not None

@@ -107,6 +107,7 @@ class Host:
             if self._tcp is not None:
                 self._tcp.handle_packet(packet)
             return
+        obs = self.network.simulator.obs
         result = self.reassembly.add_fragment(packet, self.network.simulator.now)
         if result.datagram is None:
             return
@@ -114,10 +115,20 @@ class Host:
             # A reassembled datagram whose UDP checksum no longer matches is
             # silently dropped — the failure mode of a sloppy fragment spoof
             # that did not compensate the checksum.
+            if obs.enabled:
+                obs.metrics.counter("net.datagrams_dropped", reason="checksum").inc()
+                obs.trace.instant("net.drop", category="net", reason="checksum",
+                                  src=packet.src_ip, dst=packet.dst_ip)
             return
         self.received_datagrams += 1
         if result.poisoned:
             self.poisoned_datagrams += 1
+        if obs.enabled:
+            obs.metrics.counter("net.datagrams_delivered",
+                                poisoned=result.poisoned).inc()
+            if result.poisoned:
+                obs.trace.instant("net.poisoned_delivery", category="net",
+                                  dst=self.address, src=packet.src_ip)
         self.last_datagram_poisoned = result.poisoned
         try:
             self.handle_datagram(result.datagram)
@@ -138,6 +149,9 @@ class Network:
     def __init__(self, simulator: Simulator, default_link: Optional[LinkProperties] = None,
                  routing_table: Optional[RoutingTable] = None) -> None:
         self.simulator = simulator
+        #: Observability snapshot; packet delivery is a hot path, so the
+        #: facade is cached here rather than re-read through the simulator.
+        self._obs = simulator.obs
         self.default_link = default_link or LinkProperties()
         self.routing_table = routing_table or RoutingTable()
         self._hosts: dict[str, Host] = {}
@@ -205,7 +219,13 @@ class Network:
         datagram = datagram.with_valid_checksum()
         mtu = self.effective_mtu(datagram.src_ip, datagram.dst_ip)
         ip_id = self.next_ip_id(datagram.src_ip)
-        for packet in fragment_datagram(datagram, ip_id=ip_id, mtu=mtu):
+        fragments = fragment_datagram(datagram, ip_id=ip_id, mtu=mtu)
+        if len(fragments) > 1 and self._obs.enabled:
+            self._obs.metrics.counter("net.datagrams_fragmented").inc()
+            self._obs.trace.instant("net.fragment", category="net",
+                                    src=datagram.src_ip, dst=datagram.dst_ip,
+                                    fragments=len(fragments), ip_id=ip_id)
+        for packet in fragments:
             self._transmit(packet)
 
     def send_packet(self, packet: IPPacket) -> None:
@@ -225,19 +245,35 @@ class Network:
         blind injection.
         """
         self.packets_injected += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("net.packets_injected",
+                                      spoofed=packet.spoofed).inc()
         self._transmit(packet)
 
     def _transmit(self, packet: IPPacket) -> None:
         self.packets_sent += 1
+        obs = self._obs
+        if obs.enabled:
+            obs.metrics.counter("net.packets_sent").inc()
+            if self._taps:
+                obs.metrics.counter("net.tap_observations").inc(len(self._taps))
         for tap in self._taps:
             tap(packet, self.simulator.now)
         link = self.link_for(packet.src_ip, packet.dst_ip)
         if link.loss_rate > 0 and self.simulator.rng.random() < link.loss_rate:
             self.packets_dropped += 1
+            if obs.enabled:
+                obs.metrics.counter("net.packets_dropped", reason="loss").inc()
+                obs.trace.instant("net.drop", category="net", reason="loss",
+                                  src=packet.src_ip, dst=packet.dst_ip)
             return
         destination = self.host_for(packet.dst_ip)
         if destination is None:
             self.packets_dropped += 1
+            if obs.enabled:
+                obs.metrics.counter("net.packets_dropped", reason="no-host").inc()
+                obs.trace.instant("net.drop", category="net", reason="no-host",
+                                  src=packet.src_ip, dst=packet.dst_ip)
             return
         latency = link.latency
         if link.jitter > 0:

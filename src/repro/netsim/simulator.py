@@ -28,7 +28,12 @@ import heapq
 import itertools
 import random
 from collections.abc import Callable
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+from ..obs import current as _current_obs
+
+if TYPE_CHECKING:
+    from ..obs import Observability
 
 
 class SimulationError(RuntimeError):
@@ -102,7 +107,8 @@ class Simulator:
     #: large enough that compaction cost is amortised over many cancels.
     COMPACT_THRESHOLD = 64
 
-    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+    def __init__(self, seed: int = 0, start_time: float = 0.0,
+                 obs: Optional[Observability] = None) -> None:
         self._now = float(start_time)
         self._queue: list[_HeapEntry] = []
         self._sequence = itertools.count()
@@ -114,6 +120,21 @@ class Simulator:
         #: Total not-yet-fired events that were cancelled (dead heap entries
         #: created); compaction and lazy pops reclaim exactly these.
         self.events_cancelled = 0
+        #: Observability facade: explicit, or whatever is currently
+        #: installed (``repro.obs.current()`` — the disabled singleton
+        #: unless a capture is active or ``REPRO_TRACE`` is set).  Every
+        #: instrumented layer reaches it through its simulator, and trace
+        #: timestamps are bound to *this* clock — never wall time — so a
+        #: trace is as deterministic as the run it observes.
+        self.obs = obs if obs is not None else _current_obs()
+        self.obs.bind_clock(lambda: self._now)
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            self._ctr_executed = metrics.counter("sim.events_executed")
+            self._ctr_cancelled = metrics.counter("sim.events_cancelled")
+        else:
+            self._ctr_executed = None
+            self._ctr_cancelled = None
 
     @property
     def now(self) -> float:
@@ -151,6 +172,8 @@ class Simulator:
     def _note_cancellation(self) -> None:
         self.events_cancelled += 1
         self._cancelled_pending += 1
+        if self._ctr_cancelled is not None:
+            self._ctr_cancelled.inc()
         if (self._cancelled_pending >= self.COMPACT_THRESHOLD
                 and self._cancelled_pending * 2 >= len(self._queue)):
             self.compact()
@@ -163,9 +186,15 @@ class Simulator:
         """
         if not self._cancelled_pending:
             return
+        reclaimed = self._cancelled_pending
         self._queue = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._cancelled_pending = 0
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("sim.compactions").inc()
+            obs.trace.instant("sim.compact", category="sim",
+                              reclaimed=reclaimed, remaining=len(self._queue))
 
     def peek_next_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
@@ -191,6 +220,8 @@ class Simulator:
             event.callback = None  # free the closure promptly
             callback()
             self.events_processed += 1
+            if self._ctr_executed is not None:
+                self._ctr_executed.inc()
             return True
         return False
 

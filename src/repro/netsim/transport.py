@@ -231,6 +231,12 @@ class Connection:
 
     def fail(self, reason: str) -> None:
         """Abort the attempt/connection and notify the owner."""
+        obs = self.stack.obs
+        if obs.enabled:
+            obs.metrics.counter("tcp.connection_failures", reason=reason).inc()
+            obs.trace.instant("tcp.failure", category="tcp", reason=reason,
+                              host=self.stack.host.address,
+                              remote=self.remote_ip, port=self.remote_port)
         callback = self.on_failure
         self._teardown(notify_close=False)
         if callback is not None:
@@ -279,6 +285,12 @@ class Connection:
         if self._connect_timer is not None:
             self._connect_timer.cancel()
             self._connect_timer = None
+        obs = self.stack.obs
+        if obs.enabled:
+            obs.metrics.counter("tcp.connections_established", side="client").inc()
+            obs.trace.instant("tcp.established", category="tcp", side="client",
+                              host=self.stack.host.address,
+                              remote=self.remote_ip, port=self.remote_port)
         self._emit(FLAG_ACK)
         if self.on_established is not None:
             self.on_established()
@@ -318,6 +330,13 @@ class Connection:
     def _reject(self, segment: TCPSegment) -> None:
         self.injections_rejected += 1
         self.stack.segments_rejected += 1
+        obs = self.stack.obs
+        if obs.enabled:
+            obs.metrics.counter("tcp.injections_rejected").inc()
+            obs.trace.instant("tcp.injection_rejected", category="tcp",
+                              host=self.stack.host.address,
+                              remote=self.remote_ip, port=self.local_port,
+                              state=self.state.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Connection {self.stack.host.address}:{self.local_port} -> "
@@ -349,6 +368,12 @@ class Listener:
         if len(self.half_open) >= self.backlog:
             self.syns_dropped += 1
             self.stack.syns_dropped += 1
+            obs = self.stack.obs
+            if obs.enabled:
+                obs.metrics.counter("tcp.syns_dropped").inc()
+                obs.trace.instant("tcp.syn_dropped", category="tcp",
+                                  host=self.stack.host.address, port=self.port,
+                                  src=src_ip)
             return
         connection = Connection(
             self.stack,
@@ -384,6 +409,9 @@ class TCPStack:
     def __init__(self, host: Host) -> None:
         self.host = host
         self.network = host.network
+        #: Observability facade, cached off the simulator (segment handling
+        #: is a hot path for the encrypted-transport experiments).
+        self.obs = host.network.simulator.obs
         self.listeners: dict[int, Listener] = {}
         self.connections: dict[ConnectionKey, Connection] = {}
         self.segments_received = 0
@@ -474,6 +502,13 @@ class TCPStack:
         # Anything else is dropped silently (see module docstring).
 
     def promote(self, connection: Connection) -> None:
+        if self.obs.enabled:
+            self.obs.metrics.counter("tcp.connections_established",
+                                     side="server").inc()
+            self.obs.trace.instant("tcp.established", category="tcp",
+                                   side="server", host=self.host.address,
+                                   remote=connection.remote_ip,
+                                   port=connection.local_port)
         listener = self.listeners.get(connection.local_port)
         if listener is not None:
             listener._promoted(connection)

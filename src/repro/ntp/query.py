@@ -83,6 +83,9 @@ class NTPQuerier:
             self.timeout, lambda k=key: self._on_timeout(k))
         self._pending[key] = _PendingQuery(server_address, origin_time, callback, handle)
         self.queries_sent += 1
+        obs = self.host.network.simulator.obs
+        if obs.enabled:
+            obs.metrics.counter("ntp.queries_sent").inc()
         self.host.send_datagram(
             UDPDatagram(
                 src_ip=self.host.address,
@@ -98,6 +101,11 @@ class NTPQuerier:
         if pending is None:
             return
         self.timeouts += 1
+        obs = self.host.network.simulator.obs
+        if obs.enabled:
+            obs.metrics.counter("ntp.query_timeouts").inc()
+            obs.trace.instant("ntp.timeout", category="ntp",
+                              client=self.host.address, server=pending.server)
         pending.callback(None)
 
     def handle_datagram(self, datagram: UDPDatagram) -> bool:
@@ -116,6 +124,12 @@ class NTPQuerier:
             return True
         if not packet.valid_server_reply_to(pending.origin_time):
             self.invalid_responses += 1
+            obs = self.host.network.simulator.obs
+            if obs.enabled:
+                obs.metrics.counter("ntp.invalid_responses").inc()
+                obs.trace.instant("ntp.invalid_response", category="ntp",
+                                  client=self.host.address,
+                                  server=datagram.src_ip)
             return True
         del self._pending[key]
         if pending.timeout_handle is not None:
@@ -136,5 +150,9 @@ class NTPQuerier:
             completed_at=self.host.network.simulator.now,
         )
         self.responses_received += 1
+        obs = self.host.network.simulator.obs
+        if obs.enabled:
+            obs.metrics.counter("ntp.samples_collected").inc()
+            obs.metrics.histogram("ntp.sample_offset_abs").observe(abs(sample.offset))
         pending.callback(sample)
         return True

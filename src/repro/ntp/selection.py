@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from statistics import median
 from typing import Optional
 
+from ..obs import current as _current_obs
 from .query import TimeSample
 
 
@@ -139,10 +140,18 @@ def combine_offset(samples: Sequence[TimeSample]) -> float:
 
 def ntpd_select(samples: Sequence[TimeSample]) -> SelectionResult:
     """The full baseline pipeline: select, cluster, combine."""
+    # A pure function with no simulator at hand: observability comes from
+    # the installed facade (the one the enclosing run's simulator adopted).
+    obs = _current_obs()
     truechimers, falsetickers = select_truechimers(samples)
     if not truechimers:
+        if obs.enabled:
+            obs.metrics.counter("ntp.selection_runs", succeeded=False).inc()
         return SelectionResult(offset=None, survivors=(), rejected=tuple(samples))
     survivors = cluster_survivors(truechimers)
     offset = combine_offset(survivors)
     rejected = [sample for sample in samples if sample not in survivors]
+    if obs.enabled:
+        obs.metrics.counter("ntp.selection_runs", succeeded=True).inc()
+        obs.metrics.counter("ntp.falsetickers_rejected").inc(len(rejected))
     return SelectionResult(offset=offset, survivors=tuple(survivors), rejected=tuple(rejected))

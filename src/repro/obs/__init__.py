@@ -1,0 +1,160 @@
+"""Zero-dependency observability: deterministic tracing + metrics.
+
+The subsystem is deliberately *out of band*: nothing recorded here ever
+reaches :class:`~repro.experiments.results.RunRecord`, so every pinned
+matrix/equivalence digest is byte-identical whether observability is
+enabled or disabled.  Trace timestamps come from the simulator clock
+(never wall clock on the deterministic path); wall-clock telemetry lives
+in :class:`~repro.experiments.scheduler.SweepStats` instead.
+
+Three pieces:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — labeled counters, gauges
+  and histograms with immutable, associatively/commutatively mergeable
+  snapshots (how sweep workers ship telemetry back through the pool);
+* :class:`~repro.obs.trace.Tracer` — a ring-buffered recorder of
+  sim-time-stamped instants and spans, exportable as JSONL and as Chrome
+  trace-event JSON (Perfetto-viewable);
+* :mod:`~repro.obs.timeline` — reconstructs the per-query poisoning-race
+  timeline (attacker burst vs legitimate response vs defense verdicts)
+  from a trace.
+
+Wiring: :class:`~repro.netsim.simulator.Simulator` snapshots
+:func:`current` at construction and binds its clock to the tracer, and
+every instrumented layer reaches observability through its simulator (or
+through :func:`current` for the few pure functions).  The default is the
+shared disabled singleton :data:`NULL_OBS` — one attribute check per
+instrumented site, nothing allocated, nothing recorded.
+
+Enabling it:
+
+* ``with obs.capture() as ob:`` — scoped: runs built inside the block
+  observe into ``ob``; or
+* ``REPRO_TRACE=1`` in the environment — process-global; set it to a
+  path ending in ``.json`` (Chrome trace) or ``.jsonl`` to also write
+  the trace out at interpreter exit.  ``REPRO_TRACE_CAPACITY`` sizes the
+  ring buffer (default 65536 events).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+from .metrics import MetricsRegistry, MetricsSnapshot
+from .trace import DEFAULT_CAPACITY, TraceEvent, Tracer
+
+__all__ = [
+    "NULL_OBS",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Observability",
+    "TraceEvent",
+    "Tracer",
+    "capture",
+    "current",
+    "install",
+]
+
+#: Environment variable enabling process-global observability.
+TRACE_ENV_VAR = "REPRO_TRACE"
+CAPACITY_ENV_VAR = "REPRO_TRACE_CAPACITY"
+
+
+class Observability:
+    """A tracer and a metrics registry behind one ``enabled`` flag.
+
+    Hot paths check ``obs.enabled`` once and only then build event args or
+    resolve instruments, so a disabled facade costs a single attribute
+    load and branch per instrumented site.
+    """
+
+    __slots__ = ("enabled", "trace", "metrics")
+
+    def __init__(self, enabled: bool = True, trace: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self.enabled = enabled
+        self.trace = trace if trace is not None else Tracer(capacity=capacity,
+                                                            enabled=enabled)
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=enabled)
+
+    @classmethod
+    def disabled(cls) -> Observability:
+        return cls(enabled=False, capacity=1)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Stamp subsequent trace events with ``clock()`` (simulated time).
+
+        Called by every :class:`~repro.netsim.simulator.Simulator` that
+        adopts this facade; the most recently constructed simulator wins,
+        which is the single-run capture case the tracer exists for.
+        No-op when disabled, so the shared :data:`NULL_OBS` singleton is
+        never mutated.
+        """
+        if self.enabled:
+            self.trace.use_clock(clock)
+
+
+#: The shared disabled facade: the default for every simulator.
+NULL_OBS = Observability.disabled()
+
+#: The installed facade; ``None`` means "not resolved yet — consult the
+#: environment on first use".
+_current: Optional[Observability] = None
+
+
+def _from_env() -> Observability:
+    value = os.environ.get(TRACE_ENV_VAR, "").strip()
+    if value in ("", "0", "off", "false"):
+        return NULL_OBS
+    capacity = int(os.environ.get(CAPACITY_ENV_VAR, str(DEFAULT_CAPACITY)))
+    obs = Observability(capacity=capacity)
+    if value.endswith(".jsonl"):
+        atexit.register(lambda: obs.trace.write_jsonl(value))
+    elif value.endswith(".json"):
+        atexit.register(lambda: obs.trace.write_chrome_trace(value))
+    return obs
+
+
+def current() -> Observability:
+    """The facade new simulators adopt (see module docstring for wiring)."""
+    global _current
+    if _current is None:
+        _current = _from_env()
+    return _current
+
+
+def install(obs: Optional[Observability]) -> Optional[Observability]:
+    """Install ``obs`` as the current facade; returns the previous one.
+
+    Passing ``None`` resets to "unresolved" so the next :func:`current`
+    consults ``REPRO_TRACE`` again.
+    """
+    global _current
+    previous = _current
+    _current = obs
+    return previous
+
+
+@contextmanager
+def capture(capacity: int = DEFAULT_CAPACITY,
+            trace: bool = True, metrics: bool = True) -> Iterator[Observability]:
+    """Scoped observability: simulators built inside observe into the yield.
+
+    ``trace=False`` keeps the ring buffer off while still collecting
+    metrics (what the sweep scheduler's per-task collection uses);
+    ``metrics=False`` does the reverse.
+    """
+    obs = Observability(
+        trace=Tracer(capacity=capacity, enabled=trace),
+        metrics=MetricsRegistry(enabled=metrics),
+    )
+    previous = install(obs)
+    try:
+        yield obs
+    finally:
+        install(previous)

@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..core.selection import ChronosConfig
+from ..obs import current as _current_obs
 from .batch import ClientComposition, FleetPolicy, compose_client
 from .rng import CounterRNG, hypergeom_sampler, resolve_backend
 
@@ -465,6 +466,19 @@ class FleetEngine:
         }
         metrics["mean_attacker_fraction"] = (
             metrics["attacker_fraction_sum"] / clients if clients else 0.0)
+
+        # Vectorized runs have no simulator to carry the facade; the fleet
+        # engine reports through whatever observability is installed.  Pure
+        # accounting — no RNG, nothing in the returned metrics — so cohort
+        # results stay byte-identical with the facade on or off.
+        obs = _current_obs()
+        if obs.enabled:
+            backend = "numpy" if np is not None else "python"
+            obs.metrics.counter("fleet.cohorts_run", backend=backend).inc()
+            obs.metrics.counter("fleet.clients_simulated").inc(clients)
+            obs.metrics.counter("fleet.clients_poisoned").inc(
+                metrics["clients_poisoned"])
+            obs.metrics.counter("fleet.resolvers_poisoned").inc(len(poisoned))
 
         shifts: dict[int, _GroupShift] = {}
         if config.run_time_shift:
