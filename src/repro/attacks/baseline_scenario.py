@@ -45,6 +45,8 @@ class BaselineAttackConfig:
     max_servers: int = 4
     #: Extra countermeasures stacked on the resolver and the NTP sampling.
     defenses: DefenseSpec = ()
+    #: Declarative fault plan injected into the network (see :mod:`repro.faults`).
+    faults: tuple = ()
     latency: float = 0.01
 
 
@@ -83,6 +85,7 @@ class TraditionalClientAttackScenario:
                 malicious_ttl=self.config.malicious_ttl,
                 attacker_nameserver_address="198.51.100.254",
                 defenses=self.config.defenses,
+                faults=self.config.faults,
             ),
             victim_factory=self._build_client,
         )

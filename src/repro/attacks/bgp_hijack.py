@@ -123,6 +123,8 @@ class BGPHijackConfig:
     lookup_time: float = 5.0
     #: Extra countermeasures stacked on the victim resolver.
     defenses: DefenseSpec = ()
+    #: Declarative fault plan injected into the network (see :mod:`repro.faults`).
+    faults: tuple = ()
     latency: float = 0.01
 
 
@@ -157,6 +159,7 @@ class BGPHijackScenario:
             attacker_record_count=self.config.attacker_record_count,
             malicious_ttl=self.config.malicious_ttl,
             defenses=self.config.defenses,
+            faults=self.config.faults,
         ))
         self.simulator = self.testbed.simulator
         self.network = self.testbed.network

@@ -65,6 +65,8 @@ class PoolAttackConfig:
     #: Extra countermeasures (registry names and/or instances) stacked on the
     #: resolver, the pool generation and the NTP sampling.
     defenses: DefenseSpec = ()
+    #: Declarative fault plan injected into the network (see :mod:`repro.faults`).
+    faults: tuple = ()
     #: Mean one-way network latency (seconds).
     latency: float = 0.01
 
@@ -123,6 +125,7 @@ class ChronosPoolAttackScenario:
                 benign_ttl=self.config.benign_ttl,
                 resolver_policy=self.config.resolver_policy,
                 defenses=self.config.defenses,
+                faults=self.config.faults,
                 attacker_record_count=self.config.attacker_record_count,
                 malicious_ttl=self.config.malicious_ttl,
             ),

@@ -131,6 +131,8 @@ class DowngradeConfig:
     #: downgrade fails closed) and ``encrypted_transport_opportunistic``
     #: (the downgrade works).
     defenses: DefenseSpec = ()
+    #: Declarative fault plan injected into the network (see :mod:`repro.faults`).
+    faults: tuple = ()
     latency: float = 0.01
 
 
@@ -170,6 +172,7 @@ class DowngradeScenario:
             nameserver_min_mtu=self.config.nameserver_min_mtu,
             resolver_policy=ResolverPolicy(accept_fragmented_responses=True),
             defenses=self.config.defenses,
+            faults=self.config.faults,
             attacker_record_count=self.config.attacker_record_count,
             malicious_ttl=self.config.malicious_ttl,
             with_hijacker=False,

@@ -303,6 +303,8 @@ class FragPoisoningConfig:
     malicious_ttl: int = DEFAULT_MALICIOUS_TTL
     #: Extra countermeasures stacked on the victim resolver.
     defenses: DefenseSpec = ()
+    #: Declarative fault plan injected into the network (see :mod:`repro.faults`).
+    faults: tuple = ()
     latency: float = 0.01
 
 
@@ -339,6 +341,7 @@ class FragPoisoningScenario:
             resolver_policy=ResolverPolicy(
                 accept_fragmented_responses=self.config.accept_fragments),
             defenses=self.config.defenses,
+            faults=self.config.faults,
             attacker_record_count=self.config.attacker_record_count,
             malicious_ttl=self.config.malicious_ttl,
             with_hijacker=False,

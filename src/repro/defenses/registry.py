@@ -25,6 +25,7 @@ _BUILTIN_MODULES = (
     "repro.defenses.classic",
     "repro.defenses.hardening",
     "repro.defenses.pool",
+    "repro.defenses.resilience",
     "repro.defenses.transport",
 )
 _builtins_loaded = False

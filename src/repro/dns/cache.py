@@ -48,6 +48,8 @@ class CacheStats:
     insertions: int = 0
     poisoned_insertions: int = 0
     expirations: int = 0
+    #: Lookups answered from an expired entry inside the serve-stale window.
+    stale_hits: int = 0
 
 
 class DNSCache:
@@ -58,9 +60,13 @@ class DNSCache:
     the "answer everything from cache" amplification).
     """
 
-    def __init__(self, max_ttl: Optional[int] = None, min_ttl: int = 0) -> None:
+    def __init__(self, max_ttl: Optional[int] = None, min_ttl: int = 0,
+                 serve_stale_window: float = 0.0) -> None:
         self.max_ttl = max_ttl
         self.min_ttl = min_ttl
+        #: RFC 8767: how long past expiry an entry remains retrievable via
+        #: :meth:`lookup_stale` (0 = classic immediate-eviction behaviour).
+        self.serve_stale_window = serve_stale_window
         self._entries: dict[tuple[str, RecordType], CacheEntry] = {}
         self.stats = CacheStats()
 
@@ -90,18 +96,42 @@ class DNSCache:
         return entry
 
     def lookup(self, name: str, rtype: RecordType, now: float) -> Optional[CacheEntry]:
-        """Return the live entry for (name, rtype), or ``None`` on miss/expiry."""
+        """Return the live entry for (name, rtype), or ``None`` on miss/expiry.
+
+        Expired entries are evicted — unless they are still inside the
+        serve-stale window, in which case the lookup is a miss (fresh data
+        is wanted) but the entry survives for :meth:`lookup_stale`.
+        """
         key = self._key(name, rtype)
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
         if entry.is_expired(now):
-            del self._entries[key]
-            self.stats.expirations += 1
+            if now >= entry.expires_at() + self.serve_stale_window:
+                del self._entries[key]
+                self.stats.expirations += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        return entry
+
+    def lookup_stale(self, name: str, rtype: RecordType, now: float) -> Optional[CacheEntry]:
+        """An *expired* entry still inside the serve-stale window, or ``None``.
+
+        The RFC 8767 fallback path: callers try :meth:`lookup` first and
+        fall back to this when they would otherwise re-resolve.  Entries
+        past the window are evicted here exactly as :meth:`lookup` does.
+        """
+        key = self._key(name, rtype)
+        entry = self._entries.get(key)
+        if entry is None or not entry.is_expired(now):
+            return None
+        if now >= entry.expires_at() + self.serve_stale_window:
+            del self._entries[key]
+            self.stats.expirations += 1
+            return None
+        self.stats.stale_hits += 1
         return entry
 
     def peek(self, name: str, rtype: RecordType) -> Optional[CacheEntry]:

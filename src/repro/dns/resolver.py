@@ -43,6 +43,11 @@ from .wire import normalise_name
 #: Callback invoked with the answer addresses (possibly empty on failure).
 LookupCallback = Callable[[list[str]], None]
 
+#: TTL stamped on answers served from expired (stale) cache entries, per
+#: RFC 8767 §4's recommendation that stale data be served with a TTL low
+#: enough that clients re-ask soon.
+STALE_ANSWER_TTL = 30
+
 
 @dataclass
 class PendingUpstreamQuery:
@@ -56,6 +61,9 @@ class PendingUpstreamQuery:
     client_query: Optional[DNSMessage]
     sent_at: float
     timeout_handle: object = None
+    #: Retransmissions already spent on this query (see
+    #: ``ResolverPolicy.query_retries``).
+    attempts: int = 0
     #: The defense-stack context carrying per-query verification state.
     context: Optional[QueryContext] = None
     #: Whether a truncated UDP response already triggered the one-shot
@@ -89,6 +97,29 @@ class ResolverPolicy:
     open_resolver: bool = False
     #: Query timeout in seconds before reporting failure to the client.
     query_timeout: float = 5.0
+    #: Upstream retransmissions after a query timeout (0 = the classic
+    #: fail-fast resolver every pinned experiment was run against).
+    query_retries: int = 0
+    #: Backoff before the first retransmission; doubles (by default) per
+    #: subsequent retry.
+    retry_backoff: float = 0.5
+    retry_backoff_factor: float = 2.0
+    #: Upper bound of uniform jitter added to each backoff.  Drawn from the
+    #: simulator's RNG, so retry schedules stay deterministic per seed while
+    #: still decorrelating concurrent queries.
+    retry_jitter: float = 0.0
+    #: Resolver-wide cap on total retransmissions (``None`` = unlimited) —
+    #: the budget that keeps a long upstream outage from turning every
+    #: client query into a retry storm.
+    retry_budget: Optional[int] = None
+    #: RFC 8767 serve-stale: on a cache miss whose entry merely *expired*,
+    #: answer with the stale records (TTL-clamped) and refresh in the
+    #: background.  Deliberately double-edged — stale poisoned records are
+    #: prolonged exactly the same way.
+    serve_stale: bool = False
+    #: How long past expiry an entry stays servable (RFC 8767 suggests
+    #: 1-3 days; an hour keeps experiments snappy).
+    serve_stale_window: float = 3600.0
 
 
 class RecursiveResolver(Host):
@@ -113,7 +144,11 @@ class RecursiveResolver(Host):
         #: zone suffix (normalised) -> authoritative nameserver address
         self.nameserver_map = {normalise_name(zone): ns for zone, ns in nameserver_map.items()}
         self.policy = policy or ResolverPolicy()
-        self.cache = DNSCache(max_ttl=self.policy.max_cache_ttl)
+        self.cache = DNSCache(
+            max_ttl=self.policy.max_cache_ttl,
+            serve_stale_window=(self.policy.serve_stale_window
+                                if self.policy.serve_stale else 0.0),
+        )
         self.allowed_clients = set(allowed_clients) if allowed_clients else None
         extra = list(defenses) if defenses is not None else []
         self.defenses = DefenseStack([*default_resolver_defenses(self.policy), *extra])
@@ -129,6 +164,8 @@ class RecursiveResolver(Host):
         self.poisoned_responses_accepted = 0
         self.truncated_responses = 0
         self.timeouts = 0
+        self.retries = 0
+        self.stale_answers = 0
 
     # -- helpers ---------------------------------------------------------------
     def nameserver_for(self, qname: str) -> Optional[str]:
@@ -212,7 +249,34 @@ class RecursiveResolver(Host):
             response = query.make_response(answers, authoritative=False)
             self._reply_to_client(datagram.src_ip, datagram.src_port, response)
             return
+        if self.policy.serve_stale:
+            stale = self.cache.lookup_stale(query.question.name, query.question.qtype,
+                                            self.network.simulator.now)
+            if stale is not None:
+                # RFC 8767: answer now from the expired entry (clamped TTL),
+                # refresh in the background.  The poisoning tension is
+                # deliberate — a stale *poisoned* entry is prolonged too.
+                self.stale_answers += 1
+                if self._obs.enabled:
+                    self._obs.metrics.counter("dns.stale_answers",
+                                              poisoned=stale.poisoned).inc()
+                    self._obs.trace.instant("dns.cache.stale_answer", category="dns",
+                                            qname=query.question.name,
+                                            poisoned=stale.poisoned)
+                answers = [record.with_ttl(STALE_ANSWER_TTL) for record in stale.records]
+                response = query.make_response(answers, authoritative=False)
+                self._reply_to_client(datagram.src_ip, datagram.src_port, response)
+                self._refresh_if_idle(query.question.name, query.question.qtype)
+                return
         self._forward_upstream(query, datagram.src_ip, datagram.src_port)
+
+    def _refresh_if_idle(self, name: str, qtype: RecordType) -> None:
+        """Start a background refresh unless one is already in flight."""
+        qname = normalise_name(name)
+        if any(pending_name == qname for _, pending_name in self._pending):
+            return
+        synthetic = DNSMessage.query(self._allocate_txid(), name, qtype)
+        self._forward_upstream(synthetic, None, None)
 
     def _reply_to_client(self, client_address: str, client_port: int, response: DNSMessage) -> None:
         self.send_datagram(
@@ -289,7 +353,7 @@ class RecursiveResolver(Host):
         )
 
     def _on_timeout(self, key: tuple[int, str]) -> None:
-        pending = self._pending.pop(key, None)
+        pending = self._pending.get(key)
         if pending is None:
             return
         self.timeouts += 1
@@ -297,9 +361,39 @@ class RecursiveResolver(Host):
             self._obs.metrics.counter("dns.query_timeouts").inc()
             self._obs.trace.instant("dns.query.timeout", category="dns",
                                     qname=key[1], txid=key[0])
+        policy = self.policy
+        if (pending.attempts < policy.query_retries and pending.sent_via == "udp"
+                and (policy.retry_budget is None or self.retries < policy.retry_budget)):
+            # Exponential backoff with deterministic jitter, then re-send the
+            # *same* query (same txid, same source port): the pending entry
+            # stays keyed so a slow genuine answer arriving during the
+            # backoff still resolves the query.
+            pending.attempts += 1
+            self.retries += 1
+            delay = (policy.retry_backoff
+                     * policy.retry_backoff_factor ** (pending.attempts - 1))
+            if policy.retry_jitter > 0:
+                delay += self.network.simulator.rng.uniform(0, policy.retry_jitter)
+            if self._obs.enabled:
+                self._obs.metrics.counter("dns.query_retries").inc()
+                self._obs.trace.instant("dns.query.retry", category="dns",
+                                        qname=key[1], txid=key[0],
+                                        attempt=pending.attempts, backoff=delay)
+            pending.timeout_handle = self.network.simulator.schedule(
+                delay, lambda k=key: self._retransmit(k))
+            return
+        del self._pending[key]
         if pending.client_address is not None and pending.client_query is not None:
             response = pending.client_query.make_response([], rcode=ResponseCode.SERVFAIL)
             self._reply_to_client(pending.client_address, pending.client_port, response)
+
+    def _retransmit(self, key: tuple[int, str]) -> None:
+        pending = self._pending.get(key)
+        if pending is None:  # answered during the backoff
+            return
+        pending.timeout_handle = self.network.simulator.schedule(
+            self.policy.query_timeout, lambda k=key: self._on_timeout(k))
+        self._send_upstream_datagram(pending)
 
     def _handle_upstream_response(self, datagram: UDPDatagram, response: DNSMessage,
                                   via: str = "udp") -> None:

@@ -65,7 +65,13 @@ from .results import (
     wilson_interval,
 )
 from .runner import ExperimentRunner, ExperimentSpec, run_scenario
-from .scheduler import SweepScheduler, SweepStats, guided_chunk_sizes
+from .scheduler import (
+    SweepError,
+    SweepScheduler,
+    SweepStats,
+    TaskFailure,
+    guided_chunk_sizes,
+)
 from .testbed import (
     DEFAULT_ZONE,
     Testbed,
@@ -90,8 +96,10 @@ __all__ = [
     "MatrixCell",
     "matrix_specs",
     "run_defense_matrix",
+    "SweepError",
     "SweepScheduler",
     "SweepStats",
+    "TaskFailure",
     "guided_chunk_sizes",
     "Scenario",
     "available_scenarios",

@@ -35,6 +35,7 @@ import contextlib
 import hashlib
 import json
 import os
+import warnings
 from collections.abc import Iterator, Mapping
 from pathlib import Path
 from typing import Any, Optional
@@ -90,7 +91,7 @@ class CacheStats:
     """Hit/miss/write accounting for one :class:`RunCache` instance."""
 
     __slots__ = ("hits", "misses", "writes", "corrupt_lines", "duplicate_lines",
-                 "invalidated")
+                 "invalidated", "write_errors")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -99,6 +100,7 @@ class CacheStats:
         self.corrupt_lines = 0
         self.duplicate_lines = 0
         self.invalidated = 0
+        self.write_errors = 0
 
     @property
     def lookups(self) -> int:
@@ -109,10 +111,13 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def formatted(self) -> str:
-        return (f"{self.hits}/{self.lookups} hits "
+        line = (f"{self.hits}/{self.lookups} hits "
                 f"({self.hit_rate:.0%}), {self.writes} writes, "
                 f"{self.corrupt_lines} corrupt lines skipped, "
                 f"{self.duplicate_lines} duplicate lines collapsed")
+        if self.write_errors:
+            line += f", {self.write_errors} write errors (persistence disabled)"
+        return line
 
 
 class RunCache:
@@ -130,10 +135,31 @@ class RunCache:
         if path is None:
             path = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
         self.path = Path(path)
-        self.path.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
         self._shards: dict[str, dict[str, dict]] = {}
         self._fingerprints: dict[str, str] = {}
+        self._write_disabled = False
+        try:
+            self.path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            # An unwritable cache location (read-only mount, permission
+            # lockdown) must not kill the sweep: run uncached instead.
+            self._disable_writes(exc)
+
+    def _disable_writes(self, exc: OSError) -> None:
+        """Degrade to the in-memory shard only; warn once, never raise.
+
+        Disk persistence stops (ENOSPC, EACCES, read-only filesystem, ...),
+        but lookups keep working from whatever was loaded plus records
+        cached in memory during this process — the sweep completes, it just
+        starts cold next time.
+        """
+        self.stats.write_errors += 1
+        if not self._write_disabled:
+            self._write_disabled = True
+            warnings.warn(
+                f"run cache at {self.path} is not writable ({exc}); "
+                "continuing without persistence", RuntimeWarning, stacklevel=3)
 
     # -- key helpers ---------------------------------------------------------
     def fingerprint(self, scenario_name: str) -> str:
@@ -220,15 +246,27 @@ class RunCache:
         # this write terminates the partial line instead of merging into it.
         # Readers skip the resulting blank lines.
         line = b"\n" + canonical_json(entry).encode() + b"\n"
-        fd = os.open(self._shard_path(key[:2]), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
-        try:
-            os.write(fd, line)
-        finally:
-            os.close(fd)
-        self.stats.writes += 1
-        shard = self._shards.get(key[:2])
-        if shard is not None:
-            shard[key] = entry
+        if not self._write_disabled:
+            try:
+                fd = os.open(self._shard_path(key[:2]),
+                             os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+                try:
+                    os.write(fd, line)
+                finally:
+                    os.close(fd)
+                self.stats.writes += 1
+            except OSError as exc:
+                self._disable_writes(exc)
+        # The in-memory shard is updated even when the disk is gone, so
+        # repeated lookups within this process still hit.  With writes
+        # disabled the shard is force-loaded first: a later lazy load from
+        # disk would not contain this entry and must not displace it.
+        if self._write_disabled:
+            self._load_shard(key[:2])[key] = entry
+        else:
+            shard = self._shards.get(key[:2])
+            if shard is not None:
+                shard[key] = entry
 
     # -- maintenance ---------------------------------------------------------
     def invalidate_stale(self) -> int:

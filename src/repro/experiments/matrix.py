@@ -128,6 +128,21 @@ DEFAULT_STACKS: tuple[DefenseStackSpec, ...] = (
                      "opportunistic DoT (falls back to plaintext)"),
 )
 
+#: Availability-hardening columns for fault-injection sweeps (kept out of
+#: :data:`DEFAULT_STACKS` so the pinned full-grid digest is untouched).
+#: Both are deliberately double-edged — serve-stale prolongs a poisoned
+#: entry's tenancy past its TTL, and upstream retries multiply the
+#: transactions a blind spoofer can race — so they earn their place as
+#: explicit matrix columns rather than always-on resolver behaviour.
+RESILIENCE_STACKS: tuple[DefenseStackSpec, ...] = (
+    DefenseStackSpec("serve_stale", ("serve_stale",),
+                     "RFC 8767 stale answers on upstream failure"),
+    DefenseStackSpec("upstream_retries", ("upstream_retries",),
+                     "retry timed-out upstream queries with backoff"),
+    DefenseStackSpec("stale_retries", ("serve_stale", "upstream_retries"),
+                     "both availability hardenings combined"),
+)
+
 
 @dataclass
 class MatrixCell:

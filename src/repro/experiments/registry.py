@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import importlib
 import sys
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from typing import Any, Protocol, runtime_checkable
 
 
@@ -96,16 +96,34 @@ def available_scenarios() -> dict[str, str]:
     return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
 
 
-def merge_params(defaults: Mapping[str, Any], params: Mapping[str, Any]) -> dict[str, Any]:
+def merge_params(defaults: Mapping[str, Any], params: Mapping[str, Any],
+                 optional: Sequence[str] = ()) -> dict[str, Any]:
     """Overlay ``params`` on ``defaults``, rejecting unknown keys.
 
     Scenario configs are flat dicts; a typo'd key silently falling through
     would make a sweep measure the wrong thing, so unknown keys are errors.
+
+    ``optional`` names extra accepted keys that have *no* default: they
+    appear in the merged dict only when explicitly supplied.  This is how a
+    scenario grows a new opt-in knob (``faults``) without perturbing the
+    resolved parameter dict — and therefore the pinned digests and cache
+    keys — of every sweep that never uses it.
     """
-    unknown = set(params) - set(defaults)
+    accepted = set(defaults) | set(optional)
+    unknown = set(params) - accepted
     if unknown:
         raise ValueError(f"unknown scenario parameter(s): {', '.join(sorted(unknown))}; "
-                         f"accepted: {', '.join(sorted(defaults))}")
+                         f"accepted: {', '.join(sorted(accepted))}")
     merged = dict(defaults)
     merged.update(params)
     return merged
+
+
+def optional_params(scenario: Scenario) -> tuple[str, ...]:
+    """The scenario's declared opt-in parameter names (``()`` by default).
+
+    Declared via an ``optional_params()`` method on the scenario; optional
+    precisely so that existing third-party scenarios keep working unchanged.
+    """
+    declare = getattr(scenario, "optional_params", None)
+    return tuple(declare()) if declare is not None else ()

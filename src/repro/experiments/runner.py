@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import TYPE_CHECKING, Any, Optional
 
-from .registry import get_scenario, merge_params
+from .registry import get_scenario, merge_params, optional_params
 from .results import ExperimentResult, RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -55,8 +55,10 @@ def resolve_spec_tasks(spec: ExperimentSpec) -> list[Task]:
     definition is shared by :meth:`ExperimentRunner.tasks` and the scheduler's
     multi-spec path so the two can never diverge.
     """
-    defaults = get_scenario(spec.scenario).default_params()
-    return [(name, seed, merge_params(defaults, params))
+    scenario = get_scenario(spec.scenario)
+    defaults = scenario.default_params()
+    optional = optional_params(scenario)
+    return [(name, seed, merge_params(defaults, params, optional))
             for name, seed, params in spec.tasks()]
 
 

@@ -30,6 +30,17 @@ from ..core.pool_generation import PoolGenerationPolicy
 from ..defenses.stack import DefenseStack
 from .registry import merge_params, register_scenario
 
+#: The opt-in parameter every attack adapter accepts without defaulting:
+#: a fault-plan spec (see :mod:`repro.faults`).  Declared optional so a
+#: fault-free sweep's resolved params — and therefore its digests and
+#: cache keys — are byte-identical to the pre-fault-subsystem era.
+ATTACK_OPTIONAL_PARAMS: tuple[str, ...] = ("faults",)
+
+
+def _fault_spec(p: Mapping[str, Any]) -> tuple:
+    """The normalised fault plan of a parameter dict (absent = none)."""
+    return tuple(p.get("faults") or ())
+
 
 def defense_rejections(*stacks: DefenseStack) -> dict[str, int]:
     """Combined per-defense rejection counts across the given stacks.
@@ -68,8 +79,12 @@ class ChronosPoolAttackExperiment:
             "defenses": (),
         }
 
+    def optional_params(self) -> tuple[str, ...]:
+        return ATTACK_OPTIONAL_PARAMS
+
     def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
-        p = merge_params(self.default_params(), params)
+        p = merge_params(self.default_params(), params,
+                         optional=self.optional_params())
         policy = PoolGenerationPolicy(
             dedupe=p["dedupe"],
             max_addresses_per_response=p["max_addresses_per_response"],
@@ -77,6 +92,7 @@ class ChronosPoolAttackExperiment:
         )
         config = PoolAttackConfig(
             seed=seed,
+            faults=_fault_spec(p),
             poison_at_query=p["poison_at_query"],
             benign_server_count=p["benign_server_count"],
             attacker_record_count=p["attacker_record_count"],
@@ -130,10 +146,15 @@ class TraditionalClientAttackExperiment:
             "defenses": (),
         }
 
+    def optional_params(self) -> tuple[str, ...]:
+        return ATTACK_OPTIONAL_PARAMS
+
     def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
-        p = merge_params(self.default_params(), params)
+        p = merge_params(self.default_params(), params,
+                         optional=self.optional_params())
         config = BaselineAttackConfig(
             seed=seed,
+            faults=_fault_spec(p),
             poison_startup_lookup=p["poison_startup_lookup"],
             benign_server_count=p["benign_server_count"],
             attacker_record_count=p["attacker_record_count"],
@@ -173,10 +194,15 @@ class BGPHijackExperiment:
             "defenses": (),
         }
 
+    def optional_params(self) -> tuple[str, ...]:
+        return ATTACK_OPTIONAL_PARAMS
+
     def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
-        p = merge_params(self.default_params(), params)
+        p = merge_params(self.default_params(), params,
+                         optional=self.optional_params())
         config = BGPHijackConfig(
             seed=seed,
+            faults=_fault_spec(p),
             benign_server_count=p["benign_server_count"],
             attacker_record_count=p["attacker_record_count"],
             malicious_ttl=p["malicious_ttl"],
@@ -220,10 +246,15 @@ class FragPoisoningExperiment:
             "defenses": (),
         }
 
+    def optional_params(self) -> tuple[str, ...]:
+        return ATTACK_OPTIONAL_PARAMS
+
     def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
-        p = merge_params(self.default_params(), params)
+        p = merge_params(self.default_params(), params,
+                         optional=self.optional_params())
         config = FragPoisoningConfig(
             seed=seed,
+            faults=_fault_spec(p),
             benign_server_count=p["benign_server_count"],
             records_per_response=p["records_per_response"],
             nameserver_min_mtu=p["nameserver_min_mtu"],
@@ -271,10 +302,15 @@ class DowngradeAttackExperiment:
             "defenses": (),
         }
 
+    def optional_params(self) -> tuple[str, ...]:
+        return ATTACK_OPTIONAL_PARAMS
+
     def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
-        p = merge_params(self.default_params(), params)
+        p = merge_params(self.default_params(), params,
+                         optional=self.optional_params())
         config = DowngradeConfig(
             seed=seed,
+            faults=_fault_spec(p),
             benign_server_count=p["benign_server_count"],
             records_per_response=p["records_per_response"],
             nameserver_min_mtu=p["nameserver_min_mtu"],

@@ -31,6 +31,17 @@ Guarantees:
   pooled — always from the parent process, safe alongside other processes
   appending to the same store), so even an interrupted sweep resumes from
   everything it finished.
+* **Crash isolation** — a task whose scenario raises comes back as a
+  :class:`TaskFailure` marker instead of poisoning its whole chunk; failed
+  tasks are retried inline (``task_retries`` attempts with exponential
+  backoff), and only permanent failures raise :class:`SweepError` — after
+  the rest of the stream has completed and been persisted.
+* **Pool-loss degradation** — a watchdog (``task_timeout`` seconds with no
+  chunk completing) detects a lost pool (e.g. a SIGKILLed worker, whose
+  in-flight chunk ``multiprocessing.Pool`` silently never redelivers); the
+  pool is torn down and every unfinished chunk re-runs inline in the
+  parent.  Tasks are pure functions of ``(scenario, seed, params)``, so
+  the degraded sweep reproduces the healthy sweep's records byte for byte.
 """
 
 from __future__ import annotations
@@ -69,6 +80,38 @@ def guided_chunk_sizes(task_count: int, workers: int) -> list[int]:
     return sizes
 
 
+@dataclass
+class TaskFailure:
+    """Picklable marker for a task whose scenario raised.
+
+    Travels back through the pool in a chunk's record slot so one crashing
+    task cannot poison its chunk-mates; the parent retries it inline and
+    only then treats it as permanent.
+    """
+
+    task: Task
+    error: str
+    attempts: int = 1
+
+
+class SweepError(RuntimeError):
+    """Raised when tasks still fail after every retry.
+
+    Carries the surviving :attr:`failures` and the sweep's :attr:`stats` —
+    every *other* task's record has already been persisted to the cache, so
+    a re-run after fixing the cause only recomputes the failed cells.
+    """
+
+    def __init__(self, failures: list[TaskFailure], stats: SweepStats) -> None:
+        self.failures = failures
+        self.stats = stats
+        preview = "; ".join(f"{f.task[0]}(seed={f.task[1]}): {f.error}"
+                            for f in failures[:3])
+        more = f" (+{len(failures) - 3} more)" if len(failures) > 3 else ""
+        super().__init__(
+            f"{len(failures)} task(s) failed after retries: {preview}{more}")
+
+
 def _execute_task_timed(task: Task, collect_metrics: bool
                         ) -> tuple[RunRecord, float, Optional[MetricsSnapshot]]:
     """Run one task, measuring its wall-time and (optionally) its metrics.
@@ -90,6 +133,15 @@ def _execute_task_timed(task: Task, collect_metrics: bool
     return record, time.perf_counter() - begun, snapshot
 
 
+def _execute_task_guarded(task: Task, collect_metrics: bool):
+    """Like :func:`_execute_task_timed`, but a raising scenario yields a
+    :class:`TaskFailure` in the record slot instead of propagating."""
+    try:
+        return _execute_task_timed(task, collect_metrics)
+    except Exception as exc:  # noqa: BLE001 - isolation seam: anything a scenario raises
+        return TaskFailure(task=task, error=f"{type(exc).__name__}: {exc}"), 0.0, None
+
+
 def _execute_chunk(job: tuple[int, list[Task], bool]
                    ) -> tuple[int, list[RunRecord], float, Optional[MetricsSnapshot]]:
     """Worker entry point: run a chunk, tagged with its stream offset.
@@ -97,13 +149,15 @@ def _execute_chunk(job: tuple[int, list[Task], bool]
     Returns the chunk's records plus its telemetry: summed task wall-time
     and (when requested) the chunk's merged metrics snapshot — per-task
     snapshots are folded here so only one travels back through the pool.
+    A crashing task contributes a :class:`TaskFailure` in its record slot;
+    the rest of the chunk still completes.
     """
     start, tasks, collect_metrics = job
     records: list[RunRecord] = []
     task_seconds = 0.0
     snapshots: list[MetricsSnapshot] = []
     for task in tasks:
-        record, duration, snapshot = _execute_task_timed(task, collect_metrics)
+        record, duration, snapshot = _execute_task_guarded(task, collect_metrics)
         records.append(record)
         task_seconds += duration
         if snapshot is not None:
@@ -138,6 +192,19 @@ class SweepStats:
     #: worker's counters folded through the associative/commutative
     #: snapshot merge, so the fold is order- and worker-count-independent.
     metrics: Optional[MetricsSnapshot] = None
+    #: Tasks still failing after every retry (the sweep raised
+    #: :class:`SweepError` carrying these stats).
+    tasks_failed: int = 0
+    #: Retry attempts made for tasks whose first execution raised.
+    tasks_retried: int = 0
+    #: ``on_progress`` callbacks that raised (swallowed, never fatal).
+    callback_errors: int = 0
+    #: Times the worker pool was declared lost (watchdog timeout or a
+    #: broken pipe) and abandoned mid-stream.
+    pool_losses: int = 0
+    #: Whether any part of the stream fell back to inline execution after
+    #: a pool loss or a failed pool start.
+    degraded_to_inline: bool = False
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -166,6 +233,13 @@ class SweepStats:
         if self.executed:
             line += (f"; worker task time {self.task_seconds_total:.2f}s "
                      f"({self.worker_utilization:.0%} utilization)")
+        if self.tasks_retried or self.tasks_failed:
+            line += (f"; {self.tasks_retried} retries, "
+                     f"{self.tasks_failed} permanent failures")
+        if self.pool_losses:
+            line += f"; {self.pool_losses} pool loss(es), degraded to inline"
+        if self.callback_errors:
+            line += f"; {self.callback_errors} progress-callback errors"
         return line
 
 
@@ -183,36 +257,64 @@ class SweepScheduler:
         Optional callback invoked with ``(done, total)`` as tasks complete —
         once after cache replay, then per task inline or per completed chunk
         pooled — so long sweeps (million-client population shards) are not
-        silent for minutes.  Called from the parent process only; exceptions
-        propagate to the caller.
+        silent for minutes.  Called from the parent process only; a raising
+        callback is counted in ``SweepStats.callback_errors`` and swallowed
+        — observers never abort a sweep.
     collect_metrics:
         When True, every executed task runs under a metrics-only
         observability capture and the per-task snapshots are merged into
         ``SweepStats.metrics`` (shipped back through the pool one folded
         snapshot per chunk).  Records are byte-identical either way; the
         default keeps the hot path free of the capture.
+    task_retries:
+        How many times a task whose scenario raised is re-attempted (inline,
+        in the parent) before it counts as a permanent failure.
+    retry_backoff:
+        Base seconds slept before each retry attempt, doubled per attempt.
+        The default of ``0.0`` retries immediately — simulated scenarios are
+        deterministic, so backoff only matters for tasks touching shared
+        host state.
+    task_timeout:
+        Watchdog: seconds to wait for *any* chunk to complete before the
+        pool is declared lost and the remaining chunks re-run inline.
+        ``None`` (the default) waits forever — appropriate when tasks are
+        trusted to terminate.
     """
 
     def __init__(self, workers: int = 1, cache: Optional[RunCache] = None,
                  on_progress: Optional[ProgressCallback] = None,
-                 collect_metrics: bool = False) -> None:
+                 collect_metrics: bool = False, task_retries: int = 1,
+                 retry_backoff: float = 0.0,
+                 task_timeout: Optional[float] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if task_retries < 0:
+            raise ValueError("task_retries must be non-negative")
         self.workers = workers
         self.cache = cache
         self.on_progress = on_progress
         self.collect_metrics = collect_metrics
+        self.task_retries = task_retries
+        self.retry_backoff = retry_backoff
+        self.task_timeout = task_timeout
         self._done = 0
         self._total = 0
+        self._stats: Optional[SweepStats] = None
 
     # -- task-level API ------------------------------------------------------
     def run_tasks(self, tasks: Sequence[Task]) -> tuple[list[RunRecord], SweepStats]:
-        """Execute fully-resolved tasks, returning records in task order."""
+        """Execute fully-resolved tasks, returning records in task order.
+
+        Raises :class:`SweepError` when any task still fails after every
+        retry; by then the rest of the stream has completed and (with a
+        cache attached) been persisted.
+        """
         start_time = time.perf_counter()
         stats = SweepStats(tasks_total=len(tasks), workers=self.workers)
         records: list[Optional[RunRecord]] = [None] * len(tasks)
         self._done = 0
         self._total = len(tasks)
+        self._stats = stats
 
         pending: list[tuple[int, Task]] = []
         if self.cache is not None:
@@ -228,18 +330,28 @@ class SweepScheduler:
             pending = list(enumerate(tasks))
 
         stats.executed = len(pending)
+        failures: list[TaskFailure] = []
         if pending:
             computed = self._execute(pending, stats)
             for (index, _), record in zip(pending, computed):
+                if isinstance(record, TaskFailure):
+                    failures.append(record)
                 records[index] = record
 
         stats.elapsed_seconds = time.perf_counter() - start_time
+        if failures:
+            stats.tasks_failed = len(failures)
+            raise SweepError(failures, stats)
         return list(records), stats  # type: ignore[arg-type]
 
     def _report_progress(self, newly_done: int) -> None:
         self._done += newly_done
         if self.on_progress is not None and newly_done:
-            self.on_progress(self._done, self._total)
+            try:
+                self.on_progress(self._done, self._total)
+            except Exception:  # noqa: BLE001 - observers must never abort the sweep
+                if self._stats is not None:
+                    self._stats.callback_errors += 1
 
     def _persist(self, records: Sequence[RunRecord]) -> None:
         """Write freshly-computed records to the cache as they arrive.
@@ -247,15 +359,22 @@ class SweepScheduler:
         Called from the execution loops (per task inline, per completed chunk
         pooled) rather than after the whole stream, so an interrupted sweep
         still resumes from everything it finished — the append-only store
-        tolerates the partial run.
+        tolerates the partial run.  :class:`TaskFailure` markers are never
+        persisted (a later fixed re-run must recompute those cells).
         """
         if self.cache is not None:
             for record in records:
-                self.cache.put(record)
+                if not isinstance(record, TaskFailure):
+                    self.cache.put(record)
 
     def _execute(self, pending: list[tuple[int, Task]],
                  stats: SweepStats) -> list[RunRecord]:
-        """Run the pending tasks, preserving their given order in the result."""
+        """Run the pending tasks, preserving their given order in the result.
+
+        The returned list may contain :class:`TaskFailure` markers for tasks
+        that still failed after the retry pass; the caller decides whether
+        that is fatal.
+        """
         tasks = [task for _, task in pending]
         # A pool only pays off when there are more tasks than workers;
         # otherwise fork/teardown costs more than the tasks themselves.
@@ -265,7 +384,7 @@ class SweepScheduler:
             stats.chunks = len(tasks)
             results_inline: list[RunRecord] = []
             for task in tasks:
-                record, duration, snapshot = _execute_task_timed(
+                record, duration, snapshot = _execute_task_guarded(
                     task, self.collect_metrics)
                 stats.task_seconds_total += duration
                 stats.task_seconds_max = max(stats.task_seconds_max, duration)
@@ -274,6 +393,7 @@ class SweepScheduler:
                 self._persist((record,))
                 results_inline.append(record)
                 self._report_progress(1)
+            self._retry_failures(results_inline, stats, snapshots)
             if self.collect_metrics:
                 stats.metrics = MetricsSnapshot.merge_all(snapshots)
             return results_inline
@@ -287,29 +407,104 @@ class SweepScheduler:
 
         results: list[Optional[list[RunRecord]]] = [None] * len(jobs)
         starts = {start: slot for slot, (start, _, _) in enumerate(jobs)}
-        with multiprocessing.Pool(processes=self.workers) as pool:
-            # Unordered completion + index-tagged chunks: fast workers move
-            # on to the next chunk immediately, determinism comes from the
-            # reassembly below rather than from dispatch order.
-            for start, chunk_records, task_seconds, snapshot in pool.imap_unordered(
-                    _execute_chunk, jobs):
-                self._persist(chunk_records)
-                results[starts[start]] = chunk_records
-                stats.task_seconds_total += task_seconds
-                stats.task_seconds_max = max(stats.task_seconds_max, task_seconds)
-                if snapshot is not None:
-                    snapshots.append(snapshot)
-                self._report_progress(len(chunk_records))
+
+        def consume(result) -> None:
+            start, chunk_records, task_seconds, snapshot = result
+            self._persist(chunk_records)
+            results[starts[start]] = chunk_records
+            stats.task_seconds_total += task_seconds
+            stats.task_seconds_max = max(stats.task_seconds_max, task_seconds)
+            if snapshot is not None:
+                snapshots.append(snapshot)
+            self._report_progress(len(chunk_records))
+
+        pool = None
+        try:
+            pool = multiprocessing.Pool(processes=self.workers)
+        except OSError:
+            # Could not even start the pool (fork/pipe exhaustion): the
+            # whole stream degrades to inline execution below.
+            stats.degraded_to_inline = True
+        if pool is not None:
+            try:
+                # Unordered completion + index-tagged chunks: fast workers
+                # move on to the next chunk immediately, determinism comes
+                # from the reassembly below rather than from dispatch order.
+                stream = pool.imap_unordered(_execute_chunk, jobs)
+                for _ in range(len(jobs)):
+                    try:
+                        consume(stream.next(timeout=self.task_timeout))
+                    except StopIteration:
+                        break
+                    except multiprocessing.TimeoutError:
+                        # No chunk completed within the watchdog window.  A
+                        # SIGKILLed pool worker loses its in-flight chunk
+                        # forever (the pool respawns the process but never
+                        # redelivers the chunk), so a silent stream is our
+                        # only signal.  Declare the pool lost.
+                        stats.pool_losses += 1
+                        stats.degraded_to_inline = True
+                        break
+                    except (OSError, EOFError):
+                        # The result pipe itself broke.
+                        stats.pool_losses += 1
+                        stats.degraded_to_inline = True
+                        break
+            finally:
+                pool.terminate()
+                pool.join()
+        # Degraded path: every chunk whose result never arrived re-runs
+        # inline.  Tasks are pure, so recomputing a lost chunk (even one a
+        # dead worker had partially finished) reproduces identical records.
+        for slot in range(len(jobs)):
+            if results[slot] is None:
+                consume(_execute_chunk(jobs[slot]))
+
+        flattened: list[RunRecord] = []
+        for chunk_records in results:
+            assert chunk_records is not None
+            flattened.extend(chunk_records)
+        self._retry_failures(flattened, stats, snapshots)
         if self.collect_metrics:
             # Merge order does not matter: the snapshot merge is associative
             # and commutative (property-tested), so the folded telemetry is
             # identical no matter which workers finished first.
             stats.metrics = MetricsSnapshot.merge_all(snapshots)
-        flattened: list[RunRecord] = []
-        for chunk_records in results:
-            assert chunk_records is not None
-            flattened.extend(chunk_records)
         return flattened
+
+    def _retry_failures(self, results: list, stats: SweepStats,
+                        snapshots: list[MetricsSnapshot]) -> None:
+        """Re-attempt every :class:`TaskFailure` in ``results``, in place.
+
+        Retries run inline in the parent with exponential backoff between
+        attempts; a recovered task's record is persisted exactly as a
+        first-try success would have been.  Markers that survive all
+        attempts stay in the list for the caller to report.
+        """
+        if self.task_retries == 0:
+            return
+        for index, outcome in enumerate(results):
+            if not isinstance(outcome, TaskFailure):
+                continue
+            failure = outcome
+            for attempt in range(self.task_retries):
+                if self.retry_backoff > 0.0:
+                    time.sleep(self.retry_backoff * 2 ** attempt)
+                stats.tasks_retried += 1
+                retried, duration, snapshot = _execute_task_guarded(
+                    failure.task, self.collect_metrics)
+                stats.task_seconds_total += duration
+                if snapshot is not None:
+                    snapshots.append(snapshot)
+                if isinstance(retried, TaskFailure):
+                    failure = TaskFailure(failure.task, retried.error,
+                                          attempts=failure.attempts + 1)
+                    continue
+                self._persist((retried,))
+                results[index] = retried
+                break
+            else:
+                results[index] = failure
 
     # -- spec-level API ------------------------------------------------------
     def run_specs(self, specs: Sequence[ExperimentSpec]

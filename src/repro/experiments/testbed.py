@@ -33,6 +33,7 @@ from ..ntp.server import NTPServer
 if TYPE_CHECKING:  # imported lazily in build() to avoid a package cycle
     from ..attacks.attacker import AttackerInfrastructure
     from ..attacks.bgp_hijack import BGPHijackPoisoner
+    from ..faults import FaultInjector
 
 #: The zone every experiment resolves, matching the paper.
 DEFAULT_ZONE = "pool.ntp.org"
@@ -92,6 +93,14 @@ class TestbedConfig:
     #: provisioned by the ``response_signing`` defense rather than by hand.
     zone_key: Optional[str] = None
 
+    # -- fault injection -------------------------------------------------------
+    #: Declarative fault plan (a :meth:`repro.faults.FaultPlan.to_spec`
+    #: tuple of event dicts and/or event instances).  Address fields may use
+    #: the ``@nameserver`` / ``@resolver`` aliases.  Empty — the default —
+    #: builds no injector at all; the network stays pristine and the
+    #: transmit path pays one attribute check.
+    faults: tuple = ()
+
     # -- attacker infrastructure ---------------------------------------------
     with_attacker: bool = True
     attacker_address_block: str = "198.51.100.0/24"
@@ -118,6 +127,9 @@ class Testbed:
     #: The configured defense stack (shared by the resolver and the victim's
     #: pool/NTP hooks).  Always present; empty when no defenses were asked.
     defenses: DefenseStack = field(default_factory=DefenseStack)
+    #: The armed fault injector, when the config declared a fault plan
+    #: (``testbed.faults.stats`` is the chaos ledger of the run).
+    faults: Optional["FaultInjector"] = None
     attacker: Optional["AttackerInfrastructure"] = None
     hijacker: Optional["BGPHijackPoisoner"] = None
     victim: Any = None
@@ -152,6 +164,18 @@ class TestbedBuilder:
         stack.configure_testbed(cfg)
         simulator = Simulator(seed=cfg.seed, start_time=cfg.start_time)
         network = Network(simulator, default_link=LinkProperties(latency=cfg.latency))
+        fault_injector = None
+        if cfg.faults:
+            # Imported lazily: pristine worlds (the overwhelming default)
+            # never touch the fault subsystem.
+            from ..faults import FaultInjector, FaultPlan
+
+            fault_injector = FaultInjector(
+                network,
+                FaultPlan.from_spec(cfg.faults),
+                aliases={"@nameserver": cfg.nameserver_address,
+                         "@resolver": cfg.resolver_address},
+            ).arm()
 
         allocator = AddressAllocator(cfg.benign_address_block)
         benign_servers = [
@@ -200,6 +224,7 @@ class TestbedBuilder:
             nameserver=nameserver,
             resolver=resolver,
             defenses=stack,
+            faults=fault_injector,
         )
         # Runtime attachment happens before the victim exists: defenses
         # capture world state (zone profile, keys), not victim state.

@@ -162,6 +162,11 @@ class Network:
         self.packets_sent = 0
         self.packets_dropped = 0
         self.packets_injected = 0
+        self.packets_duplicated = 0
+        #: Optional :class:`~repro.faults.injector.FaultInjector`, attached
+        #: by its ``arm()``.  ``None`` (the default) keeps the transmit path
+        #: at a single attribute check.
+        self.faults = None
 
     # -- topology ----------------------------------------------------------
     def register(self, host: Host) -> None:
@@ -259,6 +264,20 @@ class Network:
                 obs.metrics.counter("net.tap_observations").inc(len(self._taps))
         for tap in self._taps:
             tap(packet, self.simulator.now)
+        extra_latency = 0.0
+        duplicate_delay = None
+        faults = self.faults
+        if faults is not None:
+            fault_reason, extra_latency, duplicate_delay = faults.on_transmit(packet)
+            if fault_reason is not None:
+                self.packets_dropped += 1
+                if obs.enabled:
+                    obs.metrics.counter("net.packets_dropped",
+                                        reason=fault_reason).inc()
+                    obs.trace.instant("net.drop", category="net",
+                                      reason=fault_reason,
+                                      src=packet.src_ip, dst=packet.dst_ip)
+                return
         link = self.link_for(packet.src_ip, packet.dst_ip)
         if link.loss_rate > 0 and self.simulator.rng.random() < link.loss_rate:
             self.packets_dropped += 1
@@ -275,7 +294,15 @@ class Network:
                 obs.trace.instant("net.drop", category="net", reason="no-host",
                                   src=packet.src_ip, dst=packet.dst_ip)
             return
-        latency = link.latency
+        latency = link.latency + extra_latency
         if link.jitter > 0:
             latency += self.simulator.rng.uniform(0, link.jitter)
         self.simulator.schedule(latency, lambda p=packet, d=destination: d.deliver_packet(p))
+        if duplicate_delay is not None:
+            self.packets_duplicated += 1
+            if obs.enabled:
+                obs.metrics.counter("net.packets_duplicated").inc()
+                obs.trace.instant("net.duplicate", category="net",
+                                  src=packet.src_ip, dst=packet.dst_ip)
+            self.simulator.schedule(latency + duplicate_delay,
+                                    lambda p=packet, d=destination: d.deliver_packet(p))

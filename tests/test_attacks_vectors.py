@@ -124,8 +124,8 @@ def test_bgp_hijack_without_poisoning_leaves_cache_clean():
 # -- fragmentation vector ------------------------------------------------------------------
 
 def test_fragmentation_conditions_feasibility_rules():
-    base = dict(nameserver_min_mtu=548, nameserver_has_dnssec=False,
-                resolver_accepts_fragments=True, response_size=1200)
+    base = {"nameserver_min_mtu": 548, "nameserver_has_dnssec": False,
+            "resolver_accepts_fragments": True, "response_size": 1200}
     assert FragmentationAttackConditions(**base).feasible
     assert not FragmentationAttackConditions(**{**base, "resolver_accepts_fragments": False}).feasible
     assert not FragmentationAttackConditions(**{**base, "response_size": 400}).feasible

@@ -212,7 +212,7 @@ def test_parallel_writers_produce_a_consistent_store(cache, tmp_path):
 # -- end-to-end through the runner ---------------------------------------------
 
 def test_runner_warm_cache_replays_digest_identically(tmp_path):
-    kwargs = dict(seeds=(1, 2), base_params=CHEAP)
+    kwargs = {"seeds": (1, 2), "base_params": CHEAP}
     cold = ExperimentRunner("bgp_hijack", workers=1,
                             cache=RunCache(tmp_path / "rc"), **kwargs).run()
     warm_cache = RunCache(tmp_path / "rc")

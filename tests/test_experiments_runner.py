@@ -76,7 +76,7 @@ def test_every_scenario_runs_by_name_with_a_config_dict():
 # -- runner determinism ------------------------------------------------------------
 
 def test_parallel_two_seed_sweep_matches_sequential_bit_for_bit():
-    kwargs = dict(seeds=(3, 4), base_params=FAST_POOL_PARAMS)
+    kwargs = {"seeds": (3, 4), "base_params": FAST_POOL_PARAMS}
     sequential = ExperimentRunner("chronos_pool_attack", workers=1, **kwargs).run()
     parallel = ExperimentRunner("chronos_pool_attack", workers=2, **kwargs).run()
     assert sequential.records == parallel.records

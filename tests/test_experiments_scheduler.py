@@ -18,6 +18,7 @@ from repro.experiments import (
     ExperimentRunner,
     ExperimentSpec,
     RunCache,
+    SweepError,
     SweepScheduler,
     guided_chunk_sizes,
     matrix_specs,
@@ -185,17 +186,24 @@ def test_pooled_execution_populates_the_cache(tmp_path):
 
 def test_interrupted_sweep_persists_completed_records(tmp_path):
     """Records are written back as they complete, not after the full stream,
-    so a sweep that dies mid-way still resumes from everything it finished."""
+    so a sweep with a permanently-failing cell still persists everything it
+    finished — and reports the failure as a :class:`SweepError` after the
+    stream (crash isolation keeps the bad task from aborting its peers)."""
     spec = ExperimentSpec(
         scenario="chronos_pool_attack", seeds=(1,),
         base_params={"benign_server_count": 30, "run_time_shift": False},
         # The second overlay passes resolve-time validation (known key) but
-        # blows up inside the scenario, killing the stream after task one.
+        # blows up inside the scenario — deterministically, so retries
+        # cannot save it.
         param_sets=({"poison_at_query": 1}, {"poison_at_query": 99}),
     )
     cache = RunCache(tmp_path / "rc")
-    with pytest.raises(ValueError, match="poison_at_query"):
+    with pytest.raises(SweepError, match="poison_at_query") as excinfo:
         SweepScheduler(workers=1, cache=cache).run_specs([spec])
+    assert len(excinfo.value.failures) == 1
+    assert excinfo.value.failures[0].task[0] == "chronos_pool_attack"
+    assert excinfo.value.stats.tasks_failed == 1
+    assert excinfo.value.stats.tasks_retried == 1  # default task_retries=1
     survivor = RunCache(tmp_path / "rc")
     assert len(survivor) == 1  # the completed first task reached disk
 

@@ -113,7 +113,7 @@ def test_traced_defended_run_names_the_deciding_defense():
 
 # -- digest safety ------------------------------------------------------------------------
 
-SMALL = dict(attacks=LEGACY_ATTACKS[3:4], stacks=LEGACY_STACKS[:2], seeds=(1,))
+SMALL = {"attacks": LEGACY_ATTACKS[3:4], "stacks": LEGACY_STACKS[:2], "seeds": (1,)}
 
 
 def test_matrix_digest_identical_traced_and_untraced():

@@ -1,0 +1,343 @@
+"""Resolver retries, RFC 8767 serve-stale, and NTP client retries.
+
+These are the endpoint halves of the fault-injection story: the network can
+now lose, delay and blackhole packets on a schedule, and the endpoints earn
+back availability with retransmission budgets and stale answers — each with
+its deliberate security downside, asserted here alongside the upside.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.cache import DNSCache
+from repro.dns.records import RecordType, a_record
+from repro.dns.resolver import (
+    STALE_ANSWER_TTL,
+    DNSStub,
+    RecursiveResolver,
+    ResolverPolicy,
+)
+from repro.dns.nameserver import PoolNTPNameserver
+from repro.faults import FaultInjector, FaultPlan
+from repro.netsim.network import Host, LinkProperties, Network
+from repro.netsim.simulator import Simulator
+from repro.ntp.clock import SystemClock
+from repro.ntp.query import NTPQuerier
+
+
+class StubHost(Host):
+    def __init__(self, network, address, resolver_address):
+        super().__init__(network, address)
+        self.dns = DNSStub(self, resolver_address)
+
+    def handle_datagram(self, datagram):
+        self.dns.handle_datagram(datagram)
+
+
+def build_world(policy=None, seed=5, faults=()):
+    simulator = Simulator(seed=seed)
+    network = Network(simulator, default_link=LinkProperties(latency=0.01))
+    nameserver = PoolNTPNameserver(network, "192.0.2.53", zone_name="pool.ntp.org",
+                                   pool_servers=[f"10.0.0.{i + 1}" for i in range(20)])
+    resolver = RecursiveResolver(network, "192.0.2.1",
+                                 nameserver_map={"pool.ntp.org": nameserver.address},
+                                 policy=policy or ResolverPolicy())
+    client = StubHost(network, "192.0.2.100", resolver.address)
+    if faults:
+        FaultInjector(network, FaultPlan.from_spec(faults)).arm()
+    return simulator, network, nameserver, resolver, client
+
+
+# -- upstream query retries ---------------------------------------------------
+
+def test_retries_recover_a_query_through_an_upstream_outage():
+    # The nameserver is dark for 2.5 s; with a 1 s timeout and three
+    # retries the resolver's retransmissions straddle the outage and the
+    # client still gets an answer — where the classic fail-fast resolver
+    # (query_retries=0) SERVFAILs.
+    outage = ({"kind": "host_outage", "host": "192.0.2.53",
+               "start": 0.0, "end": 2.5},)
+    policy = ResolverPolicy(query_timeout=1.0, query_retries=3,
+                            retry_backoff=0.2)
+    simulator, _, nameserver, resolver, client = build_world(policy, faults=outage)
+    answers = []
+    client.dns.lookup("pool.ntp.org", answers.append)
+    simulator.run(until=30.0)
+    assert answers and answers[0]
+    assert resolver.retries >= 1
+    assert nameserver.queries_received >= 1
+
+
+def test_classic_policy_still_fails_fast_through_the_same_outage():
+    outage = ({"kind": "host_outage", "host": "192.0.2.53",
+               "start": 0.0, "end": 2.5},)
+    policy = ResolverPolicy(query_timeout=1.0)
+    simulator, _, _, resolver, client = build_world(policy, faults=outage)
+    answers = []
+    client.dns.lookup("pool.ntp.org", answers.append)
+    simulator.run(until=30.0)
+    assert answers == [[]]
+    assert resolver.retries == 0
+
+
+def test_retry_backoff_schedule_is_exponential_and_deterministic():
+    def timeline(seed):
+        policy = ResolverPolicy(query_timeout=1.0, query_retries=3,
+                                retry_backoff=0.5, retry_backoff_factor=2.0,
+                                retry_jitter=0.25)
+        simulator, network, _, resolver, client = build_world(
+            policy, seed=seed,
+            faults=({"kind": "host_outage", "host": "192.0.2.53",
+                     "start": 0.0, "end": 9e9},))
+        sent = []
+        original = resolver._send_upstream_datagram
+
+        def recording(pending):
+            sent.append(simulator.now)
+            original(pending)
+
+        resolver._send_upstream_datagram = recording
+        client.dns.lookup("pool.ntp.org", lambda a: None)
+        simulator.run(until=60.0)
+        return sent
+
+    first = timeline(seed=9)
+    # initial send, then 1 s timeout + ~0.5/1/2 s backoffs (plus jitter).
+    assert len(first) == 4
+    gaps = [round(b - a, 6) for a, b in zip(first, first[1:])]
+    assert gaps[0] >= 1.5 and gaps[1] >= 2.0 and gaps[2] >= 3.0
+    assert gaps[0] <= 1.75 and gaps[1] <= 2.25 and gaps[2] <= 3.25
+    assert timeline(seed=9) == first          # same seed, same schedule
+    assert timeline(seed=10) != first         # jitter is seed-dependent
+
+
+def test_retry_budget_caps_total_retransmissions():
+    policy = ResolverPolicy(query_timeout=0.5, query_retries=5, retry_backoff=0.1,
+                            retry_budget=3)
+    simulator, _, _, resolver, client = build_world(
+        policy,
+        faults=({"kind": "host_outage", "host": "192.0.2.53",
+                 "start": 0.0, "end": 9e9},))
+    for name in ("pool.ntp.org", "0.pool.ntp.org", "1.pool.ntp.org"):
+        resolver.nameserver_map.setdefault("pool.ntp.org", "192.0.2.53")
+        client.dns.lookup(name, lambda a: None)
+    simulator.run(until=120.0)
+    assert resolver.retries == 3              # budget, not 3 queries x 5 retries
+
+
+def test_late_answer_during_backoff_still_resolves_the_query():
+    # Latency ramp pushes the upstream RTT past the query timeout: the
+    # first attempt "times out", but the pending entry survives into the
+    # backoff window, so the slow genuine answer still lands and resolves.
+    policy = ResolverPolicy(query_timeout=1.0, query_retries=2, retry_backoff=2.0)
+    simulator, _, nameserver, resolver, client = build_world(
+        policy,
+        faults=({"kind": "latency_ramp", "extra_latency": 0.6,
+                 "start": 0.0, "end": 9e9},))
+    answers = []
+    client.dns.lookup("pool.ntp.org", answers.append)
+    simulator.run(until=30.0)
+    assert answers and answers[0]
+    assert resolver.timeouts >= 1
+    assert nameserver.queries_received == 1   # answered before any retransmit
+
+
+# -- serve-stale --------------------------------------------------------------
+
+def stale_policy(window=3600.0):
+    return ResolverPolicy(query_timeout=1.0, serve_stale=True,
+                          serve_stale_window=window)
+
+
+def test_stale_answer_served_during_outage_with_clamped_ttl():
+    simulator, _, nameserver, resolver, client = build_world(
+        stale_policy(),
+        faults=({"kind": "host_outage", "host": "192.0.2.53",
+                 "start": 10.0, "end": 9e9},))
+    first, messages = [], []
+    client.dns.lookup("pool.ntp.org", first.append)
+    simulator.run(until=5.0)
+    simulator.run(until=400.0)               # TTL 150 s: entry expired, ns down
+    client.dns.lookup_message("pool.ntp.org", messages.append)
+    simulator.run(until=430.0)
+    assert messages and [r.rdata for r in messages[0].answers] == first[0]
+    assert all(r.ttl == STALE_ANSWER_TTL for r in messages[0].answers)
+    assert resolver.stale_answers == 1
+    assert resolver.cache.stats.stale_hits == 1
+
+
+def test_stale_answer_triggers_background_refresh_when_upstream_returns():
+    simulator, _, nameserver, resolver, client = build_world(
+        stale_policy(),
+        faults=({"kind": "host_outage", "host": "192.0.2.53",
+                 "start": 10.0, "end": 395.0},))
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    simulator.run(until=5.0)
+    simulator.run(until=400.0)
+    # Outage just lifted; the stale answer satisfies the client immediately
+    # and the background refresh reaches the recovered nameserver.
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    simulator.run(until=410.0)
+    assert resolver.stale_answers == 1
+    assert nameserver.queries_received == 2   # original + background refresh
+    # The refresh re-primed the cache: the next lookup is a fresh hit.
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    simulator.run(until=420.0)
+    assert resolver.stale_answers == 1
+    assert resolver.queries_answered_from_cache == 1
+
+
+def test_no_duplicate_background_refresh_while_one_is_in_flight():
+    simulator, _, nameserver, resolver, client = build_world(
+        stale_policy(),
+        faults=({"kind": "host_outage", "host": "192.0.2.53",
+                 "start": 10.0, "end": 9e9},))
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    simulator.run(until=5.0)
+    simulator.run(until=400.0)
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    client.dns.lookup("pool.ntp.org", lambda a: None)   # before refresh times out
+    simulator.run(until=400.5)
+    assert resolver.stale_answers == 2
+    assert resolver.queries_forwarded == 2    # original + ONE refresh
+
+
+def test_entry_past_the_stale_window_is_a_full_miss():
+    simulator, _, nameserver, resolver, client = build_world(
+        stale_policy(window=100.0))
+    client.dns.lookup("pool.ntp.org", lambda a: None)
+    simulator.run(until=5.0)
+    # TTL 150 + window 100 < 400: the entry is unservable and evicted.
+    simulator.run(until=400.0)
+    answers = []
+    client.dns.lookup("pool.ntp.org", answers.append)
+    simulator.run(until=410.0)
+    assert resolver.stale_answers == 0
+    assert nameserver.queries_received == 2
+    assert answers and answers[0]
+
+
+def test_serve_stale_prolongs_a_poisoned_entry_past_its_ttl():
+    """The defense's dark side, asserted on purpose: an attacker's record
+    outlives the TTL it paid for whenever the upstream path is down."""
+    simulator, _, _, resolver, client = build_world(
+        stale_policy(),
+        faults=({"kind": "host_outage", "host": "192.0.2.53",
+                 "start": 0.0, "end": 9e9},))
+    resolver.cache.insert("pool.ntp.org", RecordType.A,
+                          [a_record("pool.ntp.org", "198.51.100.66", ttl=60)],
+                          now=0.0, poisoned=True)
+    simulator.run(until=120.0)               # poisoned entry now expired
+    answers = []
+    client.dns.lookup("pool.ntp.org", answers.append)
+    simulator.run(until=130.0)
+    assert answers == [["198.51.100.66"]]    # stale poison, still served
+    assert resolver.stale_answers == 1
+
+
+def test_cache_lookup_stale_window_semantics():
+    cache = DNSCache(serve_stale_window=100.0)
+    cache.insert("x.example", RecordType.A,
+                 [a_record("x.example", "203.0.113.1", ttl=50)], now=0.0)
+    # Live: normal hit, no stale involvement.
+    assert cache.lookup("x.example", RecordType.A, now=10.0) is not None
+    assert cache.lookup_stale("x.example", RecordType.A, now=10.0) is None
+    # Expired, inside the window: miss on lookup (entry kept), stale hit.
+    assert cache.lookup("x.example", RecordType.A, now=60.0) is None
+    assert cache.peek("x.example", RecordType.A) is not None
+    assert cache.lookup_stale("x.example", RecordType.A, now=60.0) is not None
+    assert cache.stats.stale_hits == 1
+    # Past the window: evicted by either path.
+    assert cache.lookup_stale("x.example", RecordType.A, now=200.0) is None
+    assert cache.peek("x.example", RecordType.A) is None
+    assert cache.stats.expirations == 1
+
+
+def test_without_serve_stale_the_window_is_zero():
+    simulator, _, _, resolver, _ = build_world(ResolverPolicy())
+    assert resolver.cache.serve_stale_window == 0.0
+
+
+# -- NTP client retries -------------------------------------------------------
+
+class NTPClientHost(Host):
+    def __init__(self, network, address, **querier_kwargs):
+        super().__init__(network, address)
+        self.querier = NTPQuerier(self, SystemClock(network.simulator),
+                                  **querier_kwargs)
+
+    def handle_datagram(self, datagram):
+        self.querier.handle_datagram(datagram)
+
+
+def test_ntp_retries_recover_a_sample_through_a_server_outage():
+    from repro.ntp.server import NTPServer
+
+    simulator = Simulator(seed=21)
+    network = Network(simulator, default_link=LinkProperties(latency=0.01))
+    NTPServer(network, "192.0.2.10", SystemClock(simulator))
+    client = NTPClientHost(network, "192.0.2.200", timeout=1.0, retries=3,
+                           retry_backoff=0.5)
+    FaultInjector(network, FaultPlan.from_spec((
+        {"kind": "host_outage", "host": "192.0.2.10", "start": 0.0, "end": 2.0},
+    ))).arm()
+    samples = []
+    client.querier.query("192.0.2.10", samples.append)
+    simulator.run(until=30.0)
+    assert len(samples) == 1 and samples[0] is not None
+    assert client.querier.retries_sent >= 1
+    assert client.querier.timeouts >= 1
+
+
+def test_ntp_retries_exhausted_reports_failure_once():
+    simulator = Simulator(seed=22)
+    network = Network(simulator, default_link=LinkProperties(latency=0.01))
+    client = NTPClientHost(network, "192.0.2.200", timeout=1.0, retries=2,
+                           retry_backoff=0.25, retry_jitter=0.1)
+    outcomes = []
+    client.querier.query("192.0.2.250", outcomes.append)   # nobody home
+    simulator.run(until=60.0)
+    assert outcomes == [None]
+    assert client.querier.queries_sent == 3
+    assert client.querier.retries_sent == 2
+    assert client.querier.timeouts == 3
+
+
+def test_ntp_querier_without_retries_keeps_classic_single_shot():
+    simulator = Simulator(seed=23)
+    network = Network(simulator, default_link=LinkProperties(latency=0.01))
+    client = NTPClientHost(network, "192.0.2.200", timeout=1.0)
+    outcomes = []
+    client.querier.query("192.0.2.250", outcomes.append)
+    simulator.run(until=30.0)
+    assert outcomes == [None]
+    assert client.querier.queries_sent == 1
+    assert client.querier.retries_sent == 0
+
+
+# -- defense-stack surfacing --------------------------------------------------
+
+def test_serve_stale_defense_rewrites_resolver_policy():
+    from repro.experiments.testbed import TestbedConfig, build_testbed
+
+    cfg = TestbedConfig(seed=1, defenses=("serve_stale",))
+    testbed = build_testbed(cfg)
+    assert testbed.resolver.policy.serve_stale is True
+    assert testbed.resolver.cache.serve_stale_window > 0
+
+
+def test_upstream_retries_defense_rewrites_resolver_policy():
+    from repro.experiments.testbed import TestbedConfig, build_testbed
+
+    cfg = TestbedConfig(seed=1, defenses=("upstream_retries",))
+    testbed = build_testbed(cfg)
+    assert testbed.resolver.policy.query_retries == 2
+    assert testbed.resolver.policy.retry_backoff == pytest.approx(0.25)
+
+
+def test_resilience_stacks_are_not_in_the_pinned_default_grid():
+    from repro.experiments.matrix import DEFAULT_STACKS, RESILIENCE_STACKS
+
+    default_names = {stack.name for stack in DEFAULT_STACKS}
+    assert {stack.name for stack in RESILIENCE_STACKS}.isdisjoint(default_names)
