@@ -34,9 +34,9 @@ def test_effort_comparison(benchmark):
     lines += [row.formatted() for row in comparison]
     lines.append("")
     lines.append("per-race success rate -> overall DNS-stage success probability")
-    for row in success:
-        lines.append(f"  p={row['per_query_success']:.2f}:  traditional "
-                     f"{row['traditional_overall']:.3f}   chronos {row['chronos_overall']:.3f}")
+    lines.extend(f"  p={row['per_query_success']:.2f}:  traditional "
+                 f"{row['traditional_overall']:.3f}   chronos {row['chronos_overall']:.3f}"
+                 for row in success)
     lines.append("")
     lines.append(f"end-to-end, poisoned traditional client: shift achieved = "
                  f"{baseline.attack_succeeded} (err {baseline.achieved_error:.1f} s)")

@@ -73,9 +73,8 @@ def test_poisoning_vectors(benchmark):
     outcomes = benchmark.pedantic(run_both_vectors, rounds=1, iterations=1)
     sweep = mtu_sweep()
     lines = ["vector        poisoned  attacker records in cache   max TTL cached"]
-    for vector, data in outcomes.items():
-        lines.append(f"{vector:<13} {str(data['poisoned']):<9} {data['records']:<27} "
-                     f"{data['ttl']}")
+    lines.extend(f"{vector:<13} {str(data['poisoned']):<9} {data['records']:<27} "
+                 f"{data['ttl']}" for vector, data in outcomes.items())
     lines.append("")
     lines.append("-- fragmentation-vector feasibility vs nameserver MTU --")
     lines.append(VectorFeasibilityRow.header())

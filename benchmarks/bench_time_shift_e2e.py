@@ -32,18 +32,18 @@ def run_matrix():
             base_params=base_params,
             grid={"target_shift": list(TARGETS)},
         ).run()
-        for record in result.records:
-            rows.append((label, record.params["target_shift"],
-                         record.metrics["achieved_shift"],
-                         record.metrics[success_key]))
+        rows.extend((label, record.params["target_shift"],
+                     record.metrics["achieved_shift"],
+                     record.metrics[success_key])
+                    for record in result.records)
     return rows
 
 
 def test_time_shift_end_to_end(benchmark):
     rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
     lines = [f"{'victim':<36} {'target (s)':>11} {'achieved (s)':>13} {'shifted?':>9}"]
-    for victim, target, achieved, succeeded in rows:
-        lines.append(f"{victim:<36} {target:>11.3f} {achieved:>13.3f} {str(succeeded):>9}")
+    lines.extend(f"{victim:<36} {target:>11.3f} {achieved:>13.3f} {str(succeeded):>9}"
+                 for victim, target, achieved, succeeded in rows)
     lines.append("(expected shape: both poisoned victims follow the attacker; "
                  "un-attacked Chronos does not)")
     emit("E9 — end-to-end time shift on the victim clock", lines)

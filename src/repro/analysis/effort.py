@@ -230,11 +230,8 @@ def end_to_end_success_table(per_query_success_rates: Sequence[float] = (0.05, 0
     traditional client (one race) and against Chronos (``chronos_opportunities``
     races, any one of which suffices).
     """
-    rows = []
-    for rate in per_query_success_rates:
-        rows.append({
-            "per_query_success": rate,
-            "traditional_overall": poisoning_success_probability(rate, 1),
-            "chronos_overall": poisoning_success_probability(rate, chronos_opportunities),
-        })
-    return rows
+    return [{
+        "per_query_success": rate,
+        "traditional_overall": poisoning_success_probability(rate, 1),
+        "chronos_overall": poisoning_success_probability(rate, chronos_opportunities),
+    } for rate in per_query_success_rates]

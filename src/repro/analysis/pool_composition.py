@@ -102,8 +102,8 @@ def simulated_sweep(indices: Sequence[int], seed: int = 1,
                     dedupe: bool = True) -> list[PoolCompositionRow]:
     """Packet-level sweep over selected poisoning indices."""
     rows = [simulated_composition(None, seed=seed, dedupe=dedupe)]
-    for index in indices:
-        rows.append(simulated_composition(index, seed=seed, dedupe=dedupe))
+    rows.extend(simulated_composition(index, seed=seed, dedupe=dedupe)
+                for index in indices)
     return rows
 
 

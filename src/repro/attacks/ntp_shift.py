@@ -99,16 +99,17 @@ def chronos_round_offset(model: OfflineShiftModel, config: Optional[ChronosConfi
 
 def ntpd_round_offset(model: OfflineShiftModel) -> Optional[float]:
     """Offset the baseline ntpd pipeline adopts for the given sample mix."""
-    samples: list[TimeSample] = []
     honest = model.sample_size - model.malicious_samples
-    for index in range(honest):
-        samples.append(TimeSample(server=f"honest-{index}",
-                                  offset=model.honest_jitter * ((index % 3) - 1),
-                                  delay=0.02, stratum=2, root_dispersion=0.01,
-                                  completed_at=0.0))
-    for index in range(model.malicious_samples):
-        samples.append(TimeSample(server=f"evil-{index}", offset=model.shift,
-                                  delay=0.02, stratum=2, root_dispersion=0.01,
-                                  completed_at=0.0))
+    samples: list[TimeSample] = [
+        TimeSample(server=f"honest-{index}",
+                   offset=model.honest_jitter * ((index % 3) - 1),
+                   delay=0.02, stratum=2, root_dispersion=0.01,
+                   completed_at=0.0)
+        for index in range(honest)
+    ]
+    samples.extend(TimeSample(server=f"evil-{index}", offset=model.shift,
+                              delay=0.02, stratum=2, root_dispersion=0.01,
+                              completed_at=0.0)
+                   for index in range(model.malicious_samples))
     result = ntpd_select(samples)
     return result.offset if result.succeeded else None

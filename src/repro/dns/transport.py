@@ -187,7 +187,7 @@ class DNSServerTransport:
             for wire in decoder.feed(data):
                 try:
                     query = DNSMessage.decode(wire)
-                except Exception:
+                except Exception:  # noqa: PERF203 — per-frame garbage tolerance
                     continue
                 if query.is_response:
                     continue
@@ -338,7 +338,7 @@ class ResolverUpstreamTransport:
             for wire in decoder.feed(data):
                 try:
                     response = DNSMessage.decode(wire)
-                except Exception:
+                except Exception:  # noqa: PERF203 — per-frame garbage tolerance
                     continue
                 socket.close()
                 self._deliver(pending, response, wire)

@@ -200,7 +200,7 @@ class RunCache:
                     raise TypeError("params must be a dict")
                 if not isinstance(record["metrics"], dict):
                     raise TypeError("metrics must be a dict")
-            except Exception:
+            except Exception:  # noqa: PERF203 — per-line corruption tolerance
                 # Torn write, truncation, or foreign garbage: the line is
                 # worth one recomputation, not a crash.
                 self.stats.corrupt_lines += 1

@@ -434,7 +434,7 @@ class SweepScheduler:
                 for _ in range(len(jobs)):
                     try:
                         consume(stream.next(timeout=self.task_timeout))
-                    except StopIteration:
+                    except StopIteration:  # noqa: PERF203 — watchdog needs per-chunk except
                         break
                     except multiprocessing.TimeoutError:
                         # No chunk completed within the watchdog window.  A

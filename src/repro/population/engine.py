@@ -184,8 +184,8 @@ def resolver_poison_times(config: FleetConfig,
             mask = (j < query_count) & (times >= window_lo) & (times < window_hi)
             if not mask.any():
                 continue
-            for gid, when in zip(gids[mask].tolist(), times[mask].tolist()):
-                events.append((gid % config.resolvers, when, gid))
+            events.extend((gid % config.resolvers, when, gid)
+                          for gid, when in zip(gids[mask].tolist(), times[mask].tolist()))
     else:
         starts = _population_starts(config, 0, total, None)
         for gid, start in enumerate(starts):
@@ -403,14 +403,13 @@ class FleetEngine:
     # -- helpers -----------------------------------------------------------
     def _group_indices(self, ks: Any) -> dict[int, list[int]]:
         """Cohort indices grouped by poison query (hence by composition)."""
-        groups: dict[int, list[int]] = {}
         if self.np is not None:
             np = self.np
-            for k in np.unique(ks).tolist():
-                groups[int(k)] = np.nonzero(ks == k)[0].tolist()
-        else:
-            for index, k in enumerate(ks):
-                groups.setdefault(int(k), []).append(index)
+            return {int(k): np.nonzero(ks == k)[0].tolist()
+                    for k in np.unique(ks).tolist()}
+        groups: dict[int, list[int]] = {}
+        for index, k in enumerate(ks):
+            groups.setdefault(int(k), []).append(index)
         return groups
 
     # -- runs --------------------------------------------------------------
@@ -513,10 +512,9 @@ class FleetEngine:
         records: list[dict[str, Any]] = []
         # Map each cohort index back to its position within its group so the
         # per-group shift outcomes can be read off.
-        group_pos: dict[int, int] = {}
-        for k, indices in groups.items():
-            for pos, index in enumerate(indices):
-                group_pos[index] = pos
+        group_pos: dict[int, int] = {index: pos
+                                     for indices in groups.values()
+                                     for pos, index in enumerate(indices)}
         for index in range(clients):
             k = int(k_list[index])
             comp = compositions[k]

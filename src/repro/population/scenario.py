@@ -150,20 +150,17 @@ def combine_cohort_metrics(metrics: Iterable[Mapping[str, Any]]) -> dict[str, An
     cohorts = list(metrics)
     if not cohorts:
         return {}
-    combined: dict[str, Any] = {}
-    for key in _SUM_KEYS:
-        if key in cohorts[0]:
-            combined[key] = sum(m[key] for m in cohorts)
-    for key in _FSUM_KEYS:
-        if key in cohorts[0]:
-            combined[key] = math.fsum(m[key] for m in cohorts)
+    combined: dict[str, Any] = {key: sum(m[key] for m in cohorts)
+                                for key in _SUM_KEYS if key in cohorts[0]}
+    combined.update({key: math.fsum(m[key] for m in cohorts)
+                     for key in _FSUM_KEYS if key in cohorts[0]})
     histogram = [0] * len(cohorts[0]["poison_histogram"])
     for m in cohorts:
         for index, count in enumerate(m["poison_histogram"]):
             histogram[index] += count
     combined["poison_histogram"] = histogram
-    for key in ("population", "resolvers", "poisoned_resolvers"):
-        combined[key] = cohorts[0][key]
+    combined.update({key: cohorts[0][key]
+                     for key in ("population", "resolvers", "poisoned_resolvers")})
     clients = combined["clients"]
     if clients:
         combined["mean_attacker_fraction"] = (
