@@ -20,6 +20,12 @@ With ``--cache`` the grid runs through the persistent run cache
 (``$REPRO_CACHE_DIR`` or ``./.repro-cache``): re-run the example with more
 seeds and only the new seeds are computed — the rest replays from disk,
 digest-identically.
+
+A second, serving-layer grid follows the default one: the sustained-load
+fragmentation racer and the downgrade attacker against the response-rate-
+limiting columns (``rrl``, ``rrl_plus_dot``, ``rrl_plus_dot_opp``) — RRL
+throttles the sustained race, but only the strict DoT pairing stops the
+downgrade.
 """
 
 from __future__ import annotations
@@ -27,7 +33,8 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import section5_from_matrix
-from repro.experiments import RunCache, run_defense_matrix
+from repro.experiments import AttackSpec, RunCache, run_defense_matrix
+from repro.experiments.matrix import SERVING_ATTACKS, SERVING_STACKS
 
 
 def _progress(done: int, total: int) -> None:
@@ -56,6 +63,22 @@ def main(seed_count: int = 2, workers: int = 1, use_cache: bool = False) -> None
     print(f"residual 24h-hijack success under both mitigations: "
           f"{matrix.residual_hijack_rate():.2f}  (the paper's point: the DNS "
           f"dependency itself remains the pitfall)")
+
+    print("\n== serving layer: sustained load × response-rate limiting ==")
+    serving = run_defense_matrix(
+        attacks=(*SERVING_ATTACKS, AttackSpec("downgrade", "downgrade", {})),
+        stacks=SERVING_STACKS,
+        seeds=range(1, seed_count + 1), workers=workers,
+        cache=cache, on_progress=_progress)
+    for line in serving.formatted():
+        print(line)
+    sustained = serving.cell("sustained_load", "rrl")
+    races = sustained.mean("races_poisoned")
+    total = sustained.mean("races_run")
+    print(f"\nRRL throttles the sustained racer to {races:.0f}/{total:.0f} "
+          f"poisoned races; the downgrade row shows only the strict DoT "
+          f"pairing (rrl_plus_dot) closes the plaintext fallback.")
+    print(f"serving matrix digest: {serving.digest()}")
 
 
 if __name__ == "__main__":

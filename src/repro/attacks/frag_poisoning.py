@@ -306,6 +306,13 @@ class FragPoisoningConfig:
     #: Declarative fault plan injected into the network (see :mod:`repro.faults`).
     faults: tuple = ()
     latency: float = 0.01
+    #: Number of poisoning races to run back-to-back.  ``1`` is the classic
+    #: single-shot vector; larger values model a *sustained-load* attacker
+    #: re-racing at ``trigger_interval`` spacing — the offered-load profile
+    #: response-rate limiting is designed to throttle.
+    trigger_count: int = 1
+    #: Seconds between races when ``trigger_count > 1``.
+    trigger_interval: float = 0.25
 
 
 @dataclass
@@ -316,6 +323,11 @@ class FragPoisoningResult:
     cache_poisoned: bool
     poisoned_records_cached: int
     records_cached: int
+    #: Sustained-load accounting: how many races ran and how many of them
+    #: left attacker records in the cache.  The classic single-shot run is
+    #: simply ``races_run == 1``.
+    races_run: int = 1
+    races_poisoned: int = 0
 
     @property
     def attack_succeeded(self) -> bool:
@@ -373,18 +385,53 @@ class FragPoisoningScenario:
             self.testbed.config.zone_key)
 
     def run(self) -> FragPoisoningResult:
-        report = self.poisoner.plant_fragments(self.expected_response(),
-                                               starting_ipid=self.config.starting_ipid)
-        self.resolver.trigger_lookup(self.config.zone)
+        if self.config.trigger_count <= 1:
+            # The classic single-shot race, kept event-for-event identical
+            # to the pre-sustained-load scenario (pinned digests).
+            report = self.poisoner.plant_fragments(self.expected_response(),
+                                                   starting_ipid=self.config.starting_ipid)
+            self.resolver.trigger_lookup(self.config.zone)
+            self.simulator.run(until=self.simulator.now + 10.0)
+            poisoned = self.poisoner.verify_poisoning()
+            return self._result(self.poisoner.reports, poisoned,
+                                races_run=1, races_poisoned=int(poisoned))
+        return self._run_sustained()
+
+    def _run_sustained(self) -> FragPoisoningResult:
+        """Re-race every ``trigger_interval`` seconds, ``trigger_count`` times.
+
+        Each race is independent: the previous cache entry is evicted so the
+        trigger is a fresh cache-miss race against the *live* nameserver —
+        which is exactly what a response-rate limiter throttles.  A race
+        whose UDP response is suppressed either times out (drop) or comes
+        back TC=1 (slip) and retries over TCP, where the splice cannot reach.
+        """
+        races_poisoned = 0
+        for _ in range(self.config.trigger_count):
+            self.resolver.cache.evict(self.config.zone, RecordType.A)
+            self.poisoner.plant_fragments(self.expected_response(),
+                                          starting_ipid=self.config.starting_ipid)
+            self.resolver.trigger_lookup(self.config.zone)
+            self.simulator.run(until=self.simulator.now + self.config.trigger_interval)
+            if self.poisoner.verify_poisoning():
+                races_poisoned += 1
         self.simulator.run(until=self.simulator.now + 10.0)
-        poisoned = self.poisoner.verify_poisoning()
+        poisoned = self.poisoner.verify_poisoning() or races_poisoned > 0
+        return self._result(self.poisoner.reports, poisoned,
+                            races_run=self.config.trigger_count,
+                            races_poisoned=races_poisoned)
+
+    def _result(self, reports: list[FragmentationAttackReport], poisoned: bool,
+                races_run: int, races_poisoned: int) -> FragPoisoningResult:
         entry = self.resolver.cache.peek(self.config.zone, RecordType.A)
         attacker_addresses = set(self.attacker.ntp_addresses)
         cached = list(entry.records) if entry is not None else []
         return FragPoisoningResult(
-            planted_fragments=report.planted_fragments,
+            planted_fragments=sum(report.planted_fragments for report in reports),
             cache_poisoned=poisoned,
             poisoned_records_cached=sum(1 for record in cached
                                         if record.rdata in attacker_addresses),
             records_cached=len(cached),
+            races_run=races_run,
+            races_poisoned=races_poisoned,
         )

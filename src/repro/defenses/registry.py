@@ -26,6 +26,7 @@ _BUILTIN_MODULES = (
     "repro.defenses.hardening",
     "repro.defenses.pool",
     "repro.defenses.resilience",
+    "repro.defenses.rrl",
     "repro.defenses.transport",
 )
 _builtins_loaded = False

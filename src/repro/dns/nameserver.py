@@ -33,6 +33,78 @@ POOL_NTP_ORG_TTL = 150
 POOL_RECORDS_PER_RESPONSE = 4
 
 
+class ResponseRateLimiter:
+    """BIND-style response-rate limiting (RRL) for UDP answers.
+
+    Token bucket per source *prefix* (default /24, matching BIND's
+    ``responses-per-second`` aggregation): each UDP response costs one
+    token; buckets refill at ``rate`` tokens per second up to ``burst``.
+    When a bucket is empty the response is normally **dropped**, except:
+
+    * every ``slip``-th suppressed response goes out *truncated* (TC=1,
+      empty sections) instead — small, unspoofable-to-amplify, and it
+      tells a legitimate resolver to retry over TCP where RRL does not
+      apply.  ``slip=0`` disables slipping (pure drops).
+    * every ``leak``-th suppressed response escapes at full size
+      (BIND's ``leak-rate`` escape hatch for lossy paths).  ``leak=0``
+      — the default — never leaks.
+
+    Entirely deterministic: no RNG, state is a pure function of the
+    response timeline, so digests are identical across worker counts.
+    Stream (TCP/DoT/DoH) responses are never limited — that asymmetry is
+    the point: a throttled resolver falls back to the transport an
+    off-path attacker cannot race.
+    """
+
+    def __init__(self, rate: float = 1.0, burst: int = 2, slip: int = 2,
+                 leak: int = 0, prefix_len: int = 24) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.slip = int(slip)
+        self.leak = int(leak)
+        self.prefix_len = int(prefix_len)
+        #: prefix -> (tokens, last-refill timestamp)
+        self._buckets: dict[str, tuple[float, float]] = {}
+        #: prefix -> suppressed-response count (drives slip/leak cadence)
+        self._suppressed: dict[str, int] = {}
+        self.responses_allowed = 0
+        self.responses_dropped = 0
+        self.responses_slipped = 0
+        self.responses_leaked = 0
+
+    def _prefix(self, address: str) -> str:
+        octets = address.split(".")
+        keep = max(1, min(len(octets), self.prefix_len // 8))
+        return ".".join(octets[:keep]) + f"/{self.prefix_len}"
+
+    @property
+    def leak_ratio(self) -> float:
+        """Fraction of over-limit responses that escaped at full size."""
+        suppressed = self.responses_dropped + self.responses_slipped + self.responses_leaked
+        return self.responses_leaked / suppressed if suppressed else 0.0
+
+    def check(self, address: str, now: float) -> str:
+        """Classify one UDP response: ``"send"``, ``"slip"`` or ``"drop"``."""
+        prefix = self._prefix(address)
+        tokens, last = self._buckets.get(prefix, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        if tokens >= 1.0:
+            self._buckets[prefix] = (tokens - 1.0, now)
+            self.responses_allowed += 1
+            return "send"
+        self._buckets[prefix] = (tokens, now)
+        count = self._suppressed.get(prefix, 0) + 1
+        self._suppressed[prefix] = count
+        if self.leak and count % self.leak == 0:
+            self.responses_leaked += 1
+            return "send"
+        if self.slip and count % self.slip == 0:
+            self.responses_slipped += 1
+            return "slip"
+        self.responses_dropped += 1
+        return "drop"
+
+
 class AuthoritativeNameserver(Host):
     """A simple authoritative server answering A queries from a static zone."""
 
@@ -54,6 +126,9 @@ class AuthoritativeNameserver(Host):
         self.udp_payload_limit = udp_payload_limit
         #: Stream listeners, when attached (see ``repro.dns.transport``).
         self.stream_transport = None
+        #: UDP response-rate limiter, when attached (the
+        #: ``response_rate_limit`` defense); ``None`` = unlimited.
+        self.rate_limiter: Optional[ResponseRateLimiter] = None
         self.queries_received = 0
         self.responses_sent = 0
         self.truncated_responses = 0
@@ -119,6 +194,19 @@ class AuthoritativeNameserver(Host):
                                   txid=query.transaction_id,
                                   server=self.address,
                                   wire_size=oversized)
+        if self.rate_limiter is not None:
+            # RRL applies to UDP answers only — a stream response already
+            # proved the client's address with a handshake, and the TC=1
+            # slip below is precisely the nudge toward that stream.
+            verdict = self.rate_limiter.check(
+                datagram.src_ip, self.network.simulator.now)
+            if verdict != "send":
+                if obs.enabled:
+                    obs.metrics.counter("ns.rrl", verdict=verdict).inc()
+                if verdict == "drop":
+                    return
+                response = replace(response, answers=(), authority=(),
+                                   truncated=True)
         self.responses_sent += 1
         if obs.enabled:
             obs.metrics.counter("ns.responses_sent",

@@ -73,6 +73,10 @@ class PendingUpstreamQuery:
     #: ``"stream"``.  A query on a stream transport accepts no datagram
     #: answers — the check that keeps strict encrypted policies strict.
     sent_via: str = "udp"
+    #: Times a pooled stream died with this query in flight and the
+    #: transport re-sent it over a fresh connection (bounded; see
+    #: :meth:`ResolverUpstreamTransport._connection_gone`).
+    pool_redispatches: int = 0
 
 
 @dataclass

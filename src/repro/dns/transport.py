@@ -28,10 +28,25 @@ the cost of a changed trust model.  This module provides both halves:
 
 Framing is the real wire format: stream DNS messages carry the RFC 1035
 two-byte length prefix; DoH wraps the same wire bytes in a minimal HTTP/1.1
-exchange.  One connection serves one query in this model (no pipelining):
-the handshake cost per query is exactly what
-``benchmarks/bench_encrypted_transport.py`` measures against the UDP
-baseline.
+exchange.  By default one connection serves one query — the handshake cost
+per query is exactly what ``benchmarks/bench_encrypted_transport.py``
+measures against the UDP baseline.  The high-QPS serving layer is opt-in
+via :class:`EncryptedTransportPolicy` knobs:
+
+* ``reuse_connections`` keeps a per-(nameserver, protocol) pool of live
+  streams with RFC 7766 §6.2 out-of-order pipelining — responses are
+  demultiplexed by message ID + question name, so many queries share one
+  handshake and answers may return in any order (:class:`PooledConnection`).
+  An idle timeout closes quiet streams; a mid-pipeline reset re-dispatches
+  the orphaned queries over a fresh connection (bounded retries), which is
+  what keeps fault-plan runs honest.
+* ``zero_rtt`` adds QUIC-flavoured session resumption: the first handshake
+  yields a ticket, later connections put the resumption hello *and* the
+  encrypted query on the SYN itself (TFO-style), collapsing DoT's extra
+  round trips to UDP parity on warm paths — at the faithful cost that
+  0-RTT early data is replayable unless the server burns tickets.
+
+``benchmarks/bench_serving_throughput.py`` measures all three paths.
 """
 
 from __future__ import annotations
@@ -43,11 +58,14 @@ from ..netsim.packets import UDPDatagram
 from ..netsim.transport import (
     Connection,
     PlainStreamSocket,
+    ResumptionTicketStore,
     SecureChannel,
+    SessionTicket,
     StreamSocket,
 )
 from .message import DNSMessage
 from .nameserver import DNS_PORT, AuthoritativeNameserver
+from .wire import normalise_name
 
 if TYPE_CHECKING:
     from .resolver import PendingUpstreamQuery, RecursiveResolver
@@ -142,7 +160,9 @@ class DNSServerTransport:
                  transports: tuple[str, ...] = ("tcp",),
                  cert_key: Optional[str] = None,
                  identity: Optional[str] = None,
-                 backlog: Optional[int] = None) -> None:
+                 backlog: Optional[int] = None,
+                 session_resumption: bool = False,
+                 single_use_tickets: bool = False) -> None:
         unknown = set(transports) - set(STREAM_TRANSPORTS)
         if unknown:
             raise ValueError(f"unknown stream transport(s): {sorted(unknown)}; "
@@ -153,18 +173,26 @@ class DNSServerTransport:
         self.transports = tuple(transports)
         self.cert_key = cert_key
         self.identity = identity
+        #: Session cache for 0-RTT resumption; ``None`` keeps the handshake
+        #: path (and its RNG draws) exactly as before, which is what holds
+        #: the pinned digests with the serving layer merged.
+        self.ticket_store = (ResumptionTicketStore(single_use=single_use_tickets)
+                             if session_resumption else None)
         self.queries_answered: dict[str, int] = {name: 0 for name in transports}
         kwargs = {} if backlog is None else {"backlog": backlog}
+        secure_kwargs = dict(kwargs, fast_open=session_resumption)
         stack = nameserver.tcp
         if "tcp" in transports:
             self.tcp_listener = stack.listen(
                 DNS_PORT, lambda conn: self._serve_plain(conn, "tcp"), **kwargs)
         if "dot" in transports:
             self.dot_listener = stack.listen(
-                DOT_PORT, lambda conn: self._serve_secure(conn, "dot"), **kwargs)
+                DOT_PORT, lambda conn: self._serve_secure(conn, "dot"),
+                **secure_kwargs)
         if "doh" in transports:
             self.doh_listener = stack.listen(
-                DOH_PORT, lambda conn: self._serve_secure(conn, "doh"), **kwargs)
+                DOH_PORT, lambda conn: self._serve_secure(conn, "doh"),
+                **secure_kwargs)
         nameserver.stream_transport = self
 
     def _rng(self):
@@ -177,7 +205,8 @@ class DNSServerTransport:
         channel = SecureChannel.server(
             connection, self._rng(),
             identity=self.identity or self.nameserver.name,
-            cert_key=self.cert_key)
+            cert_key=self.cert_key,
+            ticket_store=self.ticket_store)
         self._attach(channel, label)
 
     def _attach(self, socket: StreamSocket, label: str) -> None:
@@ -217,17 +246,136 @@ class EncryptedTransportPolicy:
     """
 
     def __init__(self, protocol: str = "dot", strict: bool = True,
-                 connect_timeout: float = 1.0, holddown: float = 600.0) -> None:
+                 connect_timeout: float = 1.0, holddown: float = 600.0,
+                 reuse_connections: bool = False, idle_timeout: float = 30.0,
+                 zero_rtt: bool = False) -> None:
         if protocol not in ("dot", "doh"):
             raise ValueError(f"unknown encrypted protocol {protocol!r}")
         self.protocol = protocol
         self.strict = strict
         self.connect_timeout = connect_timeout
         self.holddown = holddown
+        #: RFC 7766 §6.2 — keep upstream streams open and pipeline queries.
+        self.reuse_connections = reuse_connections
+        #: Seconds a pooled stream may sit with nothing in flight.
+        self.idle_timeout = idle_timeout
+        #: Resume with a session ticket and send the query as 0-RTT early
+        #: data on the SYN (requires the nameserver to enable resumption).
+        self.zero_rtt = zero_rtt
 
     @property
     def port(self) -> int:
         return DOT_PORT if self.protocol == "dot" else DOH_PORT
+
+    @property
+    def pooled(self) -> bool:
+        """Whether queries route through the connection pool."""
+        return self.reuse_connections or self.zero_rtt
+
+
+class PooledConnection:
+    """One reusable upstream stream carrying pipelined queries.
+
+    RFC 7766 §6.2: multiple queries may be in flight on one connection and
+    the server may answer them in any order, so responses are matched back
+    to their query by message ID + question name rather than by arrival
+    order.  The connection closes itself after ``idle_timeout`` seconds with
+    nothing in flight; a reset or failure hands the in-flight queries back
+    to the transport for re-dispatch over a fresh connection.
+    """
+
+    def __init__(self, transport: ResolverUpstreamTransport, address: str,
+                 protocol: str, socket: StreamSocket,
+                 idle_timeout: float) -> None:
+        self.transport = transport
+        self.address = address
+        self.protocol = protocol
+        self.socket = socket
+        self.idle_timeout = idle_timeout
+        self.decoder = (DoHMessageDecoder() if protocol == "doh"
+                        else DNSFrameDecoder())
+        #: (transaction id, qname) -> pending query awaiting its response.
+        self.in_flight: dict[tuple[int, str], PendingUpstreamQuery] = {}
+        self._send_queue: list[bytes] = []
+        self.closed = False
+        #: True when this connection was opened via 0-RTT resumption.
+        self.resumed = False
+        self.opened_at = transport._simulator.now
+        self.queries_sent = 0
+        self.max_in_flight = 0
+        self._idle_deadline: Optional[float] = None
+        socket.on_ready = self._flush
+        socket.on_data = self._on_data
+        socket.on_close = lambda: self._lost("closed by peer")
+        socket.on_failure = self._lost
+
+    # -- sending ---------------------------------------------------------------
+    def adopt(self, key: tuple[int, str], pending: PendingUpstreamQuery) -> None:
+        """Track a query whose bytes already left (the 0-RTT first flight)."""
+        self._idle_deadline = None
+        self.in_flight[key] = pending
+        self.queries_sent += 1
+        self.max_in_flight = max(self.max_in_flight, len(self.in_flight))
+
+    def send_query(self, key: tuple[int, str],
+                   pending: PendingUpstreamQuery) -> None:
+        self.adopt(key, pending)
+        wire = pending.upstream_query.encode()
+        request = (doh_request(wire) if self.protocol == "doh"
+                   else frame_dns(wire))
+        if self.socket.ready:
+            self.socket.send(request)
+        else:
+            self._send_queue.append(request)
+
+    def _flush(self) -> None:
+        queued, self._send_queue = self._send_queue, []
+        for request in queued:
+            self.socket.send(request)
+
+    # -- receiving -------------------------------------------------------------
+    def _on_data(self, data: bytes) -> None:
+        for wire in self.decoder.feed(data):
+            try:
+                response = DNSMessage.decode(wire)
+            except Exception:  # noqa: PERF203 — per-frame garbage tolerance
+                continue
+            key = (response.transaction_id,
+                   normalise_name(response.question.name))
+            pending = self.in_flight.pop(key, None)
+            if pending is None:
+                continue  # not ours (stale or duplicate) — keep the stream
+            if not self.in_flight:
+                self._arm_idle_timer()
+            self.transport._deliver(pending, response, wire)
+
+    # -- idle lifecycle ----------------------------------------------------------
+    def _arm_idle_timer(self) -> None:
+        deadline = self.transport._simulator.now + self.idle_timeout
+        self._idle_deadline = deadline
+        self.transport._simulator.schedule(self.idle_timeout, self._check_idle)
+
+    def _check_idle(self) -> None:
+        # A query dispatched since the timer was armed disarms the deadline;
+        # the timer for *its* quiet period is armed when it completes.
+        if self.closed or self.in_flight or self._idle_deadline is None:
+            return
+        if self.transport._simulator.now >= self._idle_deadline:
+            self.close("idle timeout")
+
+    def close(self, reason: str = "closed") -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.transport._connection_gone(self, reason, redispatch=False)
+        self.socket.close()
+
+    def _lost(self, reason: str = "connection lost") -> None:
+        """The stream died under us — possibly with queries in flight."""
+        if self.closed:
+            return
+        self.closed = True
+        self.transport._connection_gone(self, reason, redispatch=True)
 
 
 class ResolverUpstreamTransport:
@@ -250,12 +398,25 @@ class ResolverUpstreamTransport:
         #: nameserver address -> simulated time until which the resolver
         #: speaks plaintext to it (opportunistic downgrade hold-down).
         self._plaintext_until: dict[str, float] = {}
+        #: (nameserver address, protocol) -> live pooled stream.
+        self._pool: dict[tuple[str, str], PooledConnection] = {}
+        #: nameserver address -> cached resumption ticket for 0-RTT opens.
+        self._tickets: dict[str, SessionTicket] = {}
         self.encrypted_queries = 0
         self.encrypted_failures = 0
         #: Queries an opportunistic policy pushed back to plaintext UDP.
         self.downgraded_queries = 0
         #: Plain-TCP retries triggered by truncated UDP responses.
         self.tcp_retries = 0
+        # Connection-churn accounting: the reuse win in numbers.
+        self.connections_opened = 0
+        self.connections_reused = 0
+        #: Fresh connections opened to replace one that died mid-pipeline.
+        self.reconnects = 0
+        #: Queries sent as 0-RTT early data on the SYN.
+        self.zero_rtt_queries = 0
+        #: High-water mark of pipelined queries in flight on one stream.
+        self.pipelined_max_in_flight = 0
 
     # -- helpers ---------------------------------------------------------------
     @property
@@ -274,7 +435,10 @@ class ResolverUpstreamTransport:
     def dispatch(self, key: tuple[int, str], pending: PendingUpstreamQuery) -> None:
         """Send one upstream query per the policy (called by the resolver)."""
         if self.uses_encrypted(pending.nameserver_address):
-            self._send_encrypted(key, pending)
+            if self.policy.pooled:
+                self._send_pooled(key, pending)
+            else:
+                self._send_encrypted(key, pending)
             return
         if self.policy is not None:
             # An opportunistic policy in its hold-down window: plaintext.
@@ -314,6 +478,110 @@ class ResolverUpstreamTransport:
             self._simulator.now + self.policy.holddown)
         self.downgraded_queries += 1
         self.resolver._send_upstream_datagram(pending)
+
+    # -- pooled dispatch ---------------------------------------------------------
+    def _send_pooled(self, key: tuple[int, str],
+                     pending: PendingUpstreamQuery) -> None:
+        """Send over the connection pool: reuse, else resume, else cold."""
+        policy = self.policy
+        address = pending.nameserver_address
+        self.encrypted_queries += 1
+        pending.sent_via = "stream"
+        obs = self._simulator.obs
+        pool_key = (address, policy.protocol)
+        pooled = self._pool.get(pool_key)
+        if pooled is not None and not pooled.closed:
+            self.connections_reused += 1
+            if obs.enabled:
+                obs.metrics.counter("dns.pool.connections_reused",
+                                    protocol=policy.protocol).inc()
+            pooled.send_query(key, pending)
+            self._note_in_flight(pooled, obs)
+            return
+        self.connections_opened += 1
+        if obs.enabled:
+            obs.metrics.counter("dns.pool.connections_opened",
+                                protocol=policy.protocol).inc()
+        ticket = self._tickets.get(address) if policy.zero_rtt else None
+        stack = self.resolver.tcp
+        if ticket is not None:
+            # 0-RTT: compose the first flight before the SYN leaves so the
+            # resumption hello and the encrypted query ride the SYN itself.
+            connection = stack.create_connection(
+                address, policy.port, timeout=policy.connect_timeout)
+        else:
+            connection = stack.connect(
+                address, policy.port, timeout=policy.connect_timeout)
+        channel = SecureChannel.client(
+            connection, self._simulator.rng,
+            expected_identity=self.expected_identity or "",
+            trust_anchor=self.trust_anchor or "",
+            ticket=ticket,
+            on_ticket=lambda t, address=address: self._cache_ticket(address, t))
+        pooled = PooledConnection(self, address, policy.protocol, channel,
+                                  idle_timeout=policy.idle_timeout)
+        self._pool[pool_key] = pooled
+        if ticket is not None:
+            pooled.resumed = True
+            self.zero_rtt_queries += 1
+            if obs.enabled:
+                obs.metrics.counter("dns.pool.zero_rtt_queries",
+                                    protocol=policy.protocol).inc()
+            wire = pending.upstream_query.encode()
+            request = (doh_request(wire) if policy.protocol == "doh"
+                       else frame_dns(wire))
+            pooled.adopt(key, pending)
+            connection.open(channel.first_flight(request))
+        else:
+            pooled.send_query(key, pending)
+        self._note_in_flight(pooled, obs)
+
+    def _cache_ticket(self, address: str, ticket: SessionTicket) -> None:
+        self._tickets[address] = ticket
+
+    def _note_in_flight(self, pooled: PooledConnection, obs) -> None:
+        self.pipelined_max_in_flight = max(self.pipelined_max_in_flight,
+                                           len(pooled.in_flight))
+        if obs.enabled:
+            obs.metrics.gauge("dns.pool.pipelined_in_flight",
+                              nameserver=pooled.address
+                              ).track_max(len(pooled.in_flight))
+
+    def _connection_gone(self, pooled: PooledConnection, reason: str,
+                         redispatch: bool) -> None:
+        """A pooled stream closed or died; re-home its in-flight queries."""
+        pool_key = (pooled.address, pooled.protocol)
+        if self._pool.get(pool_key) is pooled:
+            del self._pool[pool_key]
+        obs = self._simulator.obs
+        if obs.enabled:
+            obs.trace.complete("dns.pool.connection", start=pooled.opened_at,
+                               category="dns", nameserver=pooled.address,
+                               protocol=pooled.protocol,
+                               queries=pooled.queries_sent,
+                               max_in_flight=pooled.max_in_flight,
+                               resumed=pooled.resumed, reason=reason)
+        if reason == "unknown session ticket":
+            # The server no longer honours our ticket (expired, or burned by
+            # a single-use anti-replay store): next open is a full handshake.
+            self._tickets.pop(pooled.address, None)
+        orphans = list(pooled.in_flight.items())
+        pooled.in_flight.clear()
+        if not redispatch:
+            return
+        for key, orphan in orphans:
+            if key not in self.resolver._pending:
+                continue  # already answered or timed out
+            if orphan.pool_redispatches < 2:
+                # Reconnect-on-reset: two fresh attempts (enough to cover a
+                # failed resumption falling back to a cold handshake) before
+                # the policy's failure handling decides strict-vs-downgrade.
+                orphan.pool_redispatches += 1
+                self.reconnects += 1
+                self.encrypted_queries -= 1  # re-dispatch, not a new query
+                self._send_pooled(key, orphan)
+            else:
+                self._on_encrypted_failure(key, orphan, reason)
 
     # -- TC-bit fallback -----------------------------------------------------------
     def retry_over_tcp(self, key: tuple[int, str], pending: PendingUpstreamQuery) -> None:

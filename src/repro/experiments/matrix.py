@@ -143,6 +143,31 @@ RESILIENCE_STACKS: tuple[DefenseStackSpec, ...] = (
                      "both availability hardenings combined"),
 )
 
+#: Serving-layer rows: the sustained-load attacker re-races the
+#: fragmentation splice every 250 ms instead of once — the offered-load
+#: profile that distinguishes a rate-limited nameserver from an unlimited
+#: one (kept out of :data:`DEFAULT_ATTACKS`; pinned digests stay put).
+SERVING_ATTACKS: tuple[AttackSpec, ...] = (
+    AttackSpec("sustained_load", "frag_poisoning",
+               {"trigger_count": 12, "trigger_interval": 0.25}),
+)
+
+#: Serving-layer columns: response-rate limiting alone, and RRL paired with
+#: each DoT policy.  RRL throttles the sustained race but answers plaintext
+#: once its bucket refills, so the ``downgrade`` row still clears ``rrl``
+#: and ``rrl_plus_dot_opp`` — only the strict pairing closes it.  Kept out
+#: of :data:`DEFAULT_STACKS` so the pinned full-grid digest is untouched.
+SERVING_STACKS: tuple[DefenseStackSpec, ...] = (
+    DefenseStackSpec("rrl", ("response_rate_limit",),
+                     "per-/24 UDP response-rate limiting"),
+    DefenseStackSpec("rrl_plus_dot",
+                     ("response_rate_limit", "encrypted_transport"),
+                     "RRL + strict DoT upstream"),
+    DefenseStackSpec("rrl_plus_dot_opp",
+                     ("response_rate_limit", "encrypted_transport_opportunistic"),
+                     "RRL + opportunistic DoT (downgradeable)"),
+)
+
 
 @dataclass
 class MatrixCell:

@@ -247,7 +247,10 @@ class FragPoisoningExperiment:
         }
 
     def optional_params(self) -> tuple[str, ...]:
-        return ATTACK_OPTIONAL_PARAMS
+        # trigger_count/trigger_interval opt into the sustained-load profile
+        # (the ``sustained_load`` matrix row); leaving them out keeps the
+        # classic single-race run — and its pinned digests — untouched.
+        return (*ATTACK_OPTIONAL_PARAMS, "trigger_count", "trigger_interval")
 
     def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
         p = merge_params(self.default_params(), params,
@@ -265,10 +268,12 @@ class FragPoisoningExperiment:
             attacker_record_count=p["attacker_record_count"],
             malicious_ttl=p["malicious_ttl"],
             defenses=tuple(p["defenses"]),
+            trigger_count=int(p.get("trigger_count", 1)),
+            trigger_interval=float(p.get("trigger_interval", 0.25)),
         )
         scenario = FragPoisoningScenario(config)
         result = scenario.run()
-        return {
+        metrics = {
             "attack_succeeded": result.attack_succeeded,
             "defense_rejections": defense_rejections(scenario.resolver.defenses),
             "cache_poisoned": result.cache_poisoned,
@@ -276,6 +281,15 @@ class FragPoisoningExperiment:
             "poisoned_records_cached": result.poisoned_records_cached,
             "records_cached": result.records_cached,
         }
+        if "trigger_count" in p:
+            limiter = scenario.nameserver.rate_limiter
+            metrics.update({
+                "races_run": result.races_run,
+                "races_poisoned": result.races_poisoned,
+                "rrl_dropped": limiter.responses_dropped if limiter else 0,
+                "rrl_slipped": limiter.responses_slipped if limiter else 0,
+            })
+        return metrics
 
 
 @register_scenario

@@ -78,6 +78,10 @@ class TestbedConfig:
     #: Certificate key for the encrypted transports (the zone's TLS
     #: identity); provisioned by the ``encrypted_transport`` defense.
     transport_cert_key: Optional[str] = None
+    #: Issue session-resumption tickets and accept 0-RTT first flights on
+    #: the secure listeners; provisioned by the ``encrypted_transport``
+    #: defense when its ``zero_rtt`` knob is on.
+    nameserver_session_resumption: bool = False
 
     # -- victim-side resolver ------------------------------------------------
     resolver_address: str = "192.0.2.1"
@@ -208,6 +212,7 @@ class TestbedBuilder:
                 transports=cfg.nameserver_transports,
                 cert_key=cfg.transport_cert_key,
                 identity=cfg.zone,
+                session_resumption=cfg.nameserver_session_resumption,
             )
         resolver = RecursiveResolver(
             network,

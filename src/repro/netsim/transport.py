@@ -176,6 +176,8 @@ class Connection:
         self.on_close: Optional[Callable[[], None]] = None
         self.on_failure: Optional[Callable[[str], None]] = None
         self._connect_timer = None
+        self._connect_timeout = CONNECT_TIMEOUT
+        self._opened = state is not ConnectionState.SYN_SENT
         self.mss = stack.mss_for(remote_ip)
 
     @property
@@ -185,6 +187,25 @@ class Connection:
     @property
     def established(self) -> bool:
         return self.state is ConnectionState.ESTABLISHED
+
+    # -- opening -------------------------------------------------------------
+    def open(self, fast_open_payload: bytes = b"") -> None:
+        """Send the SYN, optionally carrying a TFO-style first flight.
+
+        Carrying data on the SYN is what collapses a warm secure transport
+        to UDP parity: the resumption hello plus early-data records ride the
+        very first segment, and the server's answer rides its SYN-ACK
+        flight.  The SYN-ACK must acknowledge the first-flight bytes too,
+        so ``snd_nxt`` advances past them — a blind injector now has to
+        guess the ISN *and* the flight length.
+        """
+        if self.state is not ConnectionState.SYN_SENT or self._opened:
+            raise TransportError("connection was already opened")
+        self._opened = True
+        self._emit(FLAG_SYN, fast_open_payload)
+        self.snd_nxt = (self.iss + 1 + len(fast_open_payload)) % _SEQ_MOD
+        self._connect_timer = self.stack.simulator.schedule(
+            self._connect_timeout, self._on_connect_timeout)
 
     # -- sending -------------------------------------------------------------
     def send(self, data: bytes) -> None:
@@ -263,7 +284,7 @@ class Connection:
         # blind attacker lacks: the handshake ack while connecting, the exact
         # expected sequence number afterwards.
         acceptable = (
-            segment.ack == (self.iss + 1) % _SEQ_MOD
+            segment.ack == self.snd_nxt
             if self.state is ConnectionState.SYN_SENT
             else self.rcv_nxt is not None and segment.seq == self.rcv_nxt)
         if not acceptable:
@@ -275,9 +296,10 @@ class Connection:
         if not (segment.flags & FLAG_SYN and segment.flags & FLAG_ACK):
             self._reject(segment)
             return
-        if segment.ack != (self.iss + 1) % _SEQ_MOD:
+        if segment.ack != self.snd_nxt:
             # A spoofed SYN-ACK that does not acknowledge our (unobserved)
-            # ISN — exactly what an off-path injector would send.
+            # ISN — and, on a fast-open SYN, the first-flight bytes — exactly
+            # what an off-path injector would send.
             self._reject(segment)
             return
         self.rcv_nxt = (segment.seq + 1) % _SEQ_MOD
@@ -349,14 +371,22 @@ class Listener:
     def __init__(self, stack: TCPStack, port: int,
                  on_connection: Callable[[Connection], None],
                  backlog: int = DEFAULT_BACKLOG,
-                 syn_timeout: float = SYN_TIMEOUT) -> None:
+                 syn_timeout: float = SYN_TIMEOUT,
+                 fast_open: bool = False) -> None:
         self.stack = stack
         self.port = port
         self.on_connection = on_connection
         self.backlog = backlog
         self.syn_timeout = syn_timeout
+        #: Accept TFO-style data on the SYN itself: the connection is
+        #: promoted before the final ACK and the first-flight bytes are
+        #: delivered immediately.  This is what makes 0-RTT replayable —
+        #: the listener cannot tell a replayed SYN+flight from a fresh one.
+        self.fast_open = fast_open
         self.half_open: dict[ConnectionKey, Connection] = {}
         self.connections_accepted = 0
+        #: Connections accepted with data on the SYN (fast-open path).
+        self.fast_opens_accepted = 0
         #: SYNs dropped because every backlog slot was occupied — the
         #: observable footprint of a SYN flood.
         self.syns_dropped = 0
@@ -383,10 +413,21 @@ class Listener:
             isn=self.stack.rng.getrandbits(32),
             state=ConnectionState.SYN_RECEIVED,
         )
-        connection.rcv_nxt = (segment.seq + 1) % _SEQ_MOD
+        first_flight = segment.payload if self.fast_open else b""
+        connection.rcv_nxt = (segment.seq + 1 + len(first_flight)) % _SEQ_MOD
         self.half_open[key] = connection
         self.stack.connections[key] = connection
         connection._emit(FLAG_SYN | FLAG_ACK)
+        if first_flight:
+            # Fast open: promote before the final ACK so the application can
+            # answer in the SYN-ACK's flight, then deliver the early bytes.
+            connection.state = ConnectionState.ESTABLISHED
+            self.fast_opens_accepted += 1
+            self.stack.promote(connection)
+            connection.bytes_received += len(first_flight)
+            if connection.on_data is not None:
+                connection.on_data(first_flight)
+            return
         self.stack.simulator.schedule(
             self.syn_timeout, lambda c=connection: self._expire_half_open(c))
 
@@ -434,11 +475,12 @@ class TCPStack:
     # -- active/passive open ---------------------------------------------------
     def listen(self, port: int, on_connection: Callable[[Connection], None],
                backlog: int = DEFAULT_BACKLOG,
-               syn_timeout: float = SYN_TIMEOUT) -> Listener:
+               syn_timeout: float = SYN_TIMEOUT,
+               fast_open: bool = False) -> Listener:
         if port in self.listeners:
             raise TransportError(f"port {port} already has a listener")
         listener = Listener(self, port, on_connection, backlog=backlog,
-                            syn_timeout=syn_timeout)
+                            syn_timeout=syn_timeout, fast_open=fast_open)
         self.listeners[port] = listener
         return listener
 
@@ -447,6 +489,22 @@ class TCPStack:
                 timeout: float = CONNECT_TIMEOUT) -> Connection:
         """Open a connection (SYN goes out immediately); returns it in
         ``SYN_SENT`` so the caller can attach callbacks before any reply."""
+        connection = self.create_connection(remote_ip, remote_port,
+                                            local_port=local_port, timeout=timeout)
+        connection.open()
+        return connection
+
+    def create_connection(self, remote_ip: str, remote_port: int,
+                          local_port: Optional[int] = None,
+                          timeout: float = CONNECT_TIMEOUT) -> Connection:
+        """Allocate a ``SYN_SENT`` connection without emitting the SYN.
+
+        Callers that put data on the SYN itself — the 0-RTT resumption
+        transport — need the connection object (to compose the first
+        flight against its channel) before the segment leaves, so creation
+        and :meth:`Connection.open` are split.  Port and ISN draws happen
+        here, in :meth:`connect`'s order, keeping seeded runs bit-identical.
+        """
         if local_port is None:
             local_port = self._ephemeral_port(remote_ip, remote_port)
         connection = Connection(
@@ -457,13 +515,11 @@ class TCPStack:
             isn=self.rng.getrandbits(32),
             state=ConnectionState.SYN_SENT,
         )
+        connection._connect_timeout = timeout
         key = connection.key
         if key in self.connections:
             raise TransportError(f"connection {key} already exists")
         self.connections[key] = connection
-        connection._emit(FLAG_SYN)
-        connection._connect_timer = self.simulator.schedule(
-            timeout, connection._on_connect_timeout)
         return connection
 
     def _ephemeral_port(self, remote_ip: str, remote_port: int) -> int:
@@ -597,8 +653,57 @@ DH_GENERATOR = 5
 
 _REC_CLIENT_HELLO = 1
 _REC_SERVER_HELLO = 2
+_REC_TICKET = 4
+_REC_RESUME_HELLO = 5
+_REC_RESUME_ACK = 6
+_REC_EARLY_DATA = 7
 _REC_ALERT = 21
 _REC_APP_DATA = 23
+
+
+@dataclass(frozen=True)
+class SessionTicket:
+    """A resumption ticket: an opaque nonce plus the PSK it stands for.
+
+    The nonce travels in cleartext (observers learn it); the PSK is derived
+    from the *session key* of the handshake that issued it, which taps never
+    see — so holding a recorded nonce does not let an off-path attacker
+    forge a resumption.  What it *does* allow is replaying a full recorded
+    first flight verbatim, the faithful 0-RTT caveat.
+    """
+
+    nonce: bytes
+    psk: bytes
+
+
+class ResumptionTicketStore:
+    """Server-side session cache mapping ticket nonces to PSKs.
+
+    ``single_use`` models anti-replay ticket burning: each ticket redeems at
+    most once, which defeats 0-RTT replay at the cost of one full handshake
+    per replay-suspected connection.  The default (reusable tickets) is the
+    deployed-reality configuration the attacker row exploits.
+    """
+
+    def __init__(self, single_use: bool = False) -> None:
+        self.single_use = single_use
+        self._tickets: dict[bytes, bytes] = {}
+        self.issued = 0
+        self.redeemed = 0
+        self.rejected = 0
+
+    def issue(self, nonce: bytes, psk: bytes) -> None:
+        self._tickets[nonce] = psk
+        self.issued += 1
+
+    def redeem(self, nonce: bytes) -> Optional[bytes]:
+        psk = (self._tickets.pop(nonce, None) if self.single_use
+               else self._tickets.get(nonce))
+        if psk is None:
+            self.rejected += 1
+        else:
+            self.redeemed += 1
+        return psk
 
 
 def certificate_signature(cert_key: str, subject: str, share: int,
@@ -666,7 +771,10 @@ class SecureChannel(StreamSocket):
                  identity: Optional[str] = None,
                  cert_key: Optional[str] = None,
                  expected_identity: Optional[str] = None,
-                 trust_anchor: Optional[str] = None) -> None:
+                 trust_anchor: Optional[str] = None,
+                 ticket: Optional[SessionTicket] = None,
+                 on_ticket: Optional[Callable[[SessionTicket], None]] = None,
+                 ticket_store: Optional[ResumptionTicketStore] = None) -> None:
         super().__init__(connection)
         self.is_client = client
         self.identity = identity
@@ -675,6 +783,8 @@ class SecureChannel(StreamSocket):
         self.trust_anchor = trust_anchor
         self.peer_identity: Optional[str] = None
         self.handshake_complete = False
+        #: True once this channel completed a ticket resumption (either side).
+        self.resumed = False
         self._rng = rng
         self._decoder = _RecordDecoder()
         self._secret = rng.getrandbits(255) | 1
@@ -683,10 +793,17 @@ class SecureChannel(StreamSocket):
         self._key: Optional[bytes] = None
         self._send_counter = 0
         self._recv_counter = 0
+        self._ticket = ticket
+        self._on_ticket = on_ticket
+        self._ticket_store = ticket_store
+        self._early_key: Optional[bytes] = None
+        self._early_send_counter = 0
+        self._early_recv_counter = 0
+        self._first_flight_sent = False
         connection.on_data = self._on_connection_data
         connection.on_close = self._fire_close
         connection.on_failure = self._fire_failure
-        if client:
+        if client and ticket is None:
             if connection.established:
                 self._send_client_hello()
             else:
@@ -695,15 +812,20 @@ class SecureChannel(StreamSocket):
     # -- constructors ----------------------------------------------------------
     @classmethod
     def client(cls, connection: Connection, rng, *, expected_identity: str,
-               trust_anchor: str) -> SecureChannel:
+               trust_anchor: str, ticket: Optional[SessionTicket] = None,
+               on_ticket: Optional[Callable[[SessionTicket], None]] = None,
+               ) -> SecureChannel:
         return cls(connection, rng, client=True,
-                   expected_identity=expected_identity, trust_anchor=trust_anchor)
+                   expected_identity=expected_identity, trust_anchor=trust_anchor,
+                   ticket=ticket, on_ticket=on_ticket)
 
     @classmethod
     def server(cls, connection: Connection, rng, *, identity: str,
-               cert_key: str) -> SecureChannel:
+               cert_key: str,
+               ticket_store: Optional[ResumptionTicketStore] = None,
+               ) -> SecureChannel:
         return cls(connection, rng, client=False, identity=identity,
-                   cert_key=cert_key)
+                   cert_key=cert_key, ticket_store=ticket_store)
 
     @property
     def ready(self) -> bool:
@@ -732,6 +854,15 @@ class SecureChannel(StreamSocket):
         self.connection.send(_frame_record(_REC_SERVER_HELLO, hello))
         self._derive_key(client_share, client_random, self._random)
         self.handshake_complete = True
+        if self._ticket_store is not None:
+            # Issue a resumption ticket off the fresh session key.  The RNG
+            # draw happens only when a store is attached, so channels without
+            # resumption enabled keep their seeded draw sequence unchanged.
+            nonce = self._rng.getrandbits(128).to_bytes(16, "big")
+            assert self._key is not None
+            psk = hashlib.sha256(self._key + nonce).digest()
+            self._ticket_store.issue(nonce, psk)
+            self.connection.send(_frame_record(_REC_TICKET, nonce))
         self._fire_ready()
 
     def _handle_server_hello(self, body: bytes) -> None:
@@ -759,6 +890,98 @@ class SecureChannel(StreamSocket):
         self._derive_key(server_share, self._random, server_random)
         self.handshake_complete = True
         self._fire_ready()
+
+    # -- 0-RTT resumption ------------------------------------------------------
+    def first_flight(self, early_data: bytes = b"") -> bytes:
+        """Compose the resumption first flight for a fast-open SYN.
+
+        Returns the wire bytes of a ``ResumeHello`` (ticket nonce + client
+        random) followed by an ``EarlyData`` record carrying ``early_data``
+        encrypted under the early key.  The early key is derived from the
+        PSK and the *client* random only — there is no server contribution
+        yet, which is precisely why recorded first flights replay cleanly.
+        """
+        if not self.is_client or self._ticket is None:
+            raise TransportError("first_flight requires a client with a ticket")
+        if self._first_flight_sent:
+            raise TransportError("first flight was already composed")
+        self._first_flight_sent = True
+        self._early_key = hashlib.sha256(
+            self._ticket.psk + b"early" + self._random).digest()
+        hello = (len(self._ticket.nonce).to_bytes(2, "big") + self._ticket.nonce
+                 + self._random)
+        flight = _frame_record(_REC_RESUME_HELLO, hello)
+        if early_data:
+            keystream = self._early_keystream(self._early_send_counter,
+                                              len(early_data))
+            self._early_send_counter += 1
+            ciphertext = bytes(a ^ b for a, b in zip(early_data, keystream))
+            flight += _frame_record(_REC_EARLY_DATA, ciphertext)
+        return flight
+
+    def _handle_ticket(self, body: bytes) -> None:
+        if not self.is_client or self._key is None:
+            self._abort("unsolicited session ticket")
+            return
+        psk = hashlib.sha256(self._key + body).digest()
+        if self._on_ticket is not None:
+            self._on_ticket(SessionTicket(nonce=body, psk=psk))
+
+    def _handle_resume_hello(self, body: bytes) -> None:
+        if self.is_client or len(body) < 2:
+            self._abort("malformed ResumeHello")
+            return
+        nonce_length = int.from_bytes(body[:2], "big")
+        if len(body) != 2 + nonce_length + 32:
+            self._abort("malformed ResumeHello")
+            return
+        nonce = body[2:2 + nonce_length]
+        client_random = body[2 + nonce_length:]
+        psk = (self._ticket_store.redeem(nonce)
+               if self._ticket_store is not None else None)
+        if psk is None:
+            self._abort("unknown session ticket")
+            return
+        self._early_key = hashlib.sha256(psk + b"early" + client_random).digest()
+        self._key = hashlib.sha256(psk + client_random + self._random).digest()
+        self.resumed = True
+        self.handshake_complete = True
+        self.connection.send(_frame_record(_REC_RESUME_ACK, self._random))
+        self._fire_ready()
+
+    def _handle_resume_ack(self, body: bytes) -> None:
+        if not self.is_client or self._ticket is None or len(body) != 32:
+            self._abort("malformed ResumeAck")
+            return
+        self._key = hashlib.sha256(
+            self._ticket.psk + self._random + body).digest()
+        # The ticket chains back to a handshake that verified the pinned
+        # certificate; resumption inherits that authentication.
+        self.peer_identity = self.expected_identity
+        self.resumed = True
+        self.handshake_complete = True
+        self._fire_ready()
+
+    def _early_keystream(self, counter: int, length: int) -> bytes:
+        assert self._early_key is not None
+        stream = bytearray()
+        block = 0
+        while len(stream) < length:
+            stream += hashlib.sha256(
+                self._early_key + b"early" + counter.to_bytes(8, "big")
+                + block.to_bytes(4, "big")).digest()
+            block += 1
+        return bytes(stream[:length])
+
+    def _handle_early_data(self, body: bytes) -> None:
+        if self.is_client or self._early_key is None:
+            self._abort("early data without a resumed session")
+            return
+        keystream = self._early_keystream(self._early_recv_counter, len(body))
+        self._early_recv_counter += 1
+        plaintext = bytes(a ^ b for a, b in zip(body, keystream))
+        if self.on_data is not None:
+            self.on_data(plaintext)
 
     def _derive_key(self, peer_share: int, client_random: bytes,
                     server_random: bytes) -> None:
@@ -811,6 +1034,14 @@ class SecureChannel(StreamSocket):
                 self._handle_client_hello(body)
             elif record_type == _REC_SERVER_HELLO:
                 self._handle_server_hello(body)
+            elif record_type == _REC_TICKET:
+                self._handle_ticket(body)
+            elif record_type == _REC_RESUME_HELLO:
+                self._handle_resume_hello(body)
+            elif record_type == _REC_RESUME_ACK:
+                self._handle_resume_ack(body)
+            elif record_type == _REC_EARLY_DATA:
+                self._handle_early_data(body)
             elif record_type == _REC_APP_DATA:
                 self._handle_app_data(body)
             elif record_type == _REC_ALERT:
