@@ -1,0 +1,217 @@
+"""Zero-dependency SVG figures for campaign reports.
+
+Everything here is deterministic string assembly: no matplotlib, no
+randomized element ids, no timestamps — the same data always yields the
+same bytes, so figure digests participate in the campaign's byte-identity
+guarantee.
+
+Color choices follow a validated palette: sequential magnitude (the attack
+success heatmap) uses a single blue ramp light→dark, so "near zero"
+recedes toward the surface and "attack succeeds" reads darkest; curves use
+the categorical order (blue, orange, aqua) with 2px strokes.  Cell values
+and point labels are printed directly in text ink — magnitude is never
+encoded by color alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+#: Sequential blue ramp, steps 100..700 (light surface, light→dark).
+SEQUENTIAL_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+#: Categorical series colors, fixed order (never cycled past three here).
+CATEGORICAL = ("#2a78d6", "#eb6834", "#1baf7a")
+
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+TEXT_MUTED = "#898781"
+GRIDLINE = "#e1e0d9"
+AXIS = "#c3c2b7"
+
+_FONT = 'font-family="system-ui, sans-serif"'
+
+
+def sequential_color(value: float) -> str:
+    """Ramp step for a magnitude in [0, 1] (clamped)."""
+    clamped = min(max(value, 0.0), 1.0)
+    index = min(int(clamped * len(SEQUENTIAL_RAMP)), len(SEQUENTIAL_RAMP) - 1)
+    return SEQUENTIAL_RAMP[index]
+
+
+def _cell_text_color(value: float) -> str:
+    """Dark ink on light cells, white on the dark end of the ramp."""
+    return "#ffffff" if value >= 0.55 else TEXT_PRIMARY
+
+
+def _esc(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate formatting (deterministic bytes)."""
+    return f"{value:.2f}"
+
+
+def svg_digest(svg: str) -> str:
+    return hashlib.sha256(svg.encode("utf-8")).hexdigest()
+
+
+def render_heatmap_svg(title: str, row_labels: list[str],
+                       col_labels: list[str],
+                       values: list[list[Optional[float]]]) -> str:
+    """Attack × defense success-rate heatmap as a self-contained SVG.
+
+    ``values[row][col]`` in [0, 1] or ``None`` for an absent cell.  Each
+    cell prints its value directly so the figure survives grayscale and
+    CVD viewing; the ramp only adds the at-a-glance gradient.
+    """
+    cell_w, cell_h, gap = 64, 30, 2
+    left = 16 + max((len(label) for label in row_labels), default=0) * 7
+    top = 64
+    width = left + len(col_labels) * (cell_w + gap) + 16
+    height = top + len(row_labels) * (cell_h + gap) + 40
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="{_esc(title)}">',
+        f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>',
+        f'<text x="16" y="28" {_FONT} font-size="15" font-weight="600" '
+        f'fill="{TEXT_PRIMARY}">{_esc(title)}</text>',
+        f'<text x="16" y="46" {_FONT} font-size="11" '
+        f'fill="{TEXT_SECONDARY}">attack success rate per defense stack '
+        f'(0.00 light &#8594; 1.00 dark)</text>',
+    ]
+    for col, label in enumerate(col_labels):
+        x = left + col * (cell_w + gap) + cell_w / 2
+        parts.append(
+            f'<text x="{_fmt(x)}" y="{top - 8}" {_FONT} font-size="10" '
+            f'fill="{TEXT_MUTED}" text-anchor="middle">{_esc(label)}</text>')
+    for row, label in enumerate(row_labels):
+        y = top + row * (cell_h + gap)
+        parts.append(
+            f'<text x="{left - 8}" y="{_fmt(y + cell_h / 2 + 3.5)}" {_FONT} '
+            f'font-size="11" fill="{TEXT_SECONDARY}" '
+            f'text-anchor="end">{_esc(label)}</text>')
+        for col in range(len(col_labels)):
+            x = left + col * (cell_w + gap)
+            value = values[row][col] if col < len(values[row]) else None
+            if value is None:
+                parts.append(
+                    f'<rect x="{x}" y="{y}" width="{cell_w}" '
+                    f'height="{cell_h}" rx="4" fill="none" '
+                    f'stroke="{GRIDLINE}"/>')
+                continue
+            fill = sequential_color(value)
+            ink = _cell_text_color(value)
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell_w}" height="{cell_h}" '
+                f'rx="4" fill="{fill}"/>')
+            parts.append(
+                f'<text x="{_fmt(x + cell_w / 2)}" '
+                f'y="{_fmt(y + cell_h / 2 + 3.5)}" {_FONT} font-size="11" '
+                f'fill="{ink}" text-anchor="middle">{value:.2f}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def render_heatmap_markdown(row_labels: list[str], col_labels: list[str],
+                            values: list[list[Optional[float]]]) -> str:
+    """The same grid as a GitHub-flavored markdown table (the text view)."""
+    header = "| attack \\ stack | " + " | ".join(col_labels) + " |"
+    rule = "|---" * (len(col_labels) + 1) + "|"
+    lines = [header, rule]
+    for row, label in enumerate(row_labels):
+        cells = []
+        for col in range(len(col_labels)):
+            value = values[row][col] if col < len(values[row]) else None
+            cells.append("--" if value is None else f"{value:.2f}")
+        lines.append(f"| {label} | " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def render_curve_svg(title: str, x_label: str, y_label: str,
+                     series: list[tuple[str, list[tuple[str, float]]]]) -> str:
+    """Line chart over an ordinal x axis (grid parameter values).
+
+    ``series`` is ``[(name, [(x_tick_label, y_value), ...]), ...]`` with
+    every series sharing the tick order.  Points are direct-labeled with
+    their values; series identity comes from color plus an end-of-line
+    label, so no separate legend box is needed for the small series counts
+    campaigns produce.
+    """
+    if not series or not series[0][1]:
+        raise ValueError("a curve figure needs at least one non-empty series")
+    ticks = [x for x, _ in series[0][1]]
+    width, height = 560, 300
+    left, right, top, bottom = 72, 96, 56, 48
+    plot_w, plot_h = width - left - right, height - top - bottom
+    y_values = [y for _, points in series for _, y in points]
+    y_max = max(max(y_values), 1e-9)
+    y_min = min(min(y_values), 0.0)
+    span = y_max - y_min or 1.0
+
+    def sx(index: int) -> float:
+        if len(ticks) == 1:
+            return left + plot_w / 2
+        return left + plot_w * index / (len(ticks) - 1)
+
+    def sy(value: float) -> float:
+        return top + plot_h * (1.0 - (value - y_min) / span)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="{_esc(title)}">',
+        f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>',
+        f'<text x="16" y="28" {_FONT} font-size="15" font-weight="600" '
+        f'fill="{TEXT_PRIMARY}">{_esc(title)}</text>',
+        f'<text x="16" y="44" {_FONT} font-size="11" '
+        f'fill="{TEXT_SECONDARY}">{_esc(y_label)} by {_esc(x_label)}</text>',
+    ]
+    for fraction in (0.0, 0.5, 1.0):
+        gy = top + plot_h * fraction
+        gv = y_min + span * (1.0 - fraction)
+        parts.append(
+            f'<line x1="{left}" y1="{_fmt(gy)}" x2="{left + plot_w}" '
+            f'y2="{_fmt(gy)}" stroke="{GRIDLINE}" stroke-width="1"/>')
+        parts.append(
+            f'<text x="{left - 8}" y="{_fmt(gy + 3.5)}" {_FONT} '
+            f'font-size="10" fill="{TEXT_MUTED}" '
+            f'text-anchor="end">{gv:.2f}</text>')
+    parts.append(
+        f'<line x1="{left}" y1="{top + plot_h}" x2="{left + plot_w}" '
+        f'y2="{top + plot_h}" stroke="{AXIS}" stroke-width="1"/>')
+    for index, tick in enumerate(ticks):
+        parts.append(
+            f'<text x="{_fmt(sx(index))}" y="{top + plot_h + 18}" {_FONT} '
+            f'font-size="10" fill="{TEXT_MUTED}" '
+            f'text-anchor="middle">{_esc(tick)}</text>')
+    for series_index, (name, points) in enumerate(series):
+        color = CATEGORICAL[series_index % len(CATEGORICAL)]
+        coords = " ".join(f"{_fmt(sx(i))},{_fmt(sy(y))}"
+                          for i, (_, y) in enumerate(points))
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>')
+        for i, (_, y) in enumerate(points):
+            parts.append(
+                f'<circle cx="{_fmt(sx(i))}" cy="{_fmt(sy(y))}" r="4" '
+                f'fill="{color}" stroke="{SURFACE}" stroke-width="2"/>')
+            parts.append(
+                f'<text x="{_fmt(sx(i))}" y="{_fmt(sy(y) - 10)}" {_FONT} '
+                f'font-size="10" fill="{TEXT_SECONDARY}" '
+                f'text-anchor="middle">{y:.3g}</text>')
+        end_x, end_y = sx(len(points) - 1), sy(points[-1][1])
+        parts.append(
+            f'<text x="{_fmt(end_x + 10)}" y="{_fmt(end_y + 3.5)}" {_FONT} '
+            f'font-size="11" fill="{TEXT_PRIMARY}">{_esc(name)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

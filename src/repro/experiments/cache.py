@@ -27,6 +27,13 @@ processes sharing a cache directory) interleave whole lines rather than
 bytes.  Readers skip lines that fail to parse — a torn or truncated line
 costs one recomputation, never a crash — and duplicate keys resolve
 last-line-wins.
+
+Observability sidecar: an entry may carry the run's
+:class:`~repro.obs.metrics.MetricsSnapshot` under an optional ``obs`` key.
+The snapshot lives strictly *outside* the record — digests and cache keys
+never see it — but it lets a metrics-collecting sweep replay a cached
+cell's telemetry instead of losing it, so an interrupted campaign resumed
+from the cache reports the same merged metrics as an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from collections.abc import Iterator, Mapping
 from pathlib import Path
 from typing import Any, Optional
 
+from ..obs.metrics import MetricsSnapshot
 from .registry import get_scenario
 from .results import RunRecord
 
@@ -223,6 +231,18 @@ class RunCache:
     def get(self, scenario_name: str, seed: int,
             params: Mapping[str, Any]) -> Optional[RunRecord]:
         """The cached record for a task, or ``None`` (a miss)."""
+        found = self.get_entry(scenario_name, seed, params)
+        return found[0] if found is not None else None
+
+    def get_entry(self, scenario_name: str, seed: int, params: Mapping[str, Any]
+                  ) -> Optional[tuple[RunRecord, Optional[MetricsSnapshot]]]:
+        """The cached record *and* its metrics sidecar, or ``None`` (a miss).
+
+        The snapshot slot is ``None`` for entries written without metrics
+        (``put(record)`` with no snapshot — the default sweep path); callers
+        that need full telemetry coverage should treat a missing sidecar as
+        "telemetry lost to an untelemetered earlier run", never as an error.
+        """
         key = self.key_for(scenario_name, seed, params)
         entry = self._load_shard(key[:2]).get(key)
         if entry is None:
@@ -230,17 +250,29 @@ class RunCache:
             return None
         self.stats.hits += 1
         record = entry["record"]
-        return RunRecord(scenario=record["scenario"], seed=record["seed"],
-                         params=record["params"], metrics=record["metrics"])
+        obs = entry.get("obs")
+        snapshot = MetricsSnapshot.from_dict(obs) if obs is not None else None
+        return (RunRecord(scenario=record["scenario"], seed=record["seed"],
+                          params=record["params"], metrics=record["metrics"]),
+                snapshot)
 
-    def put(self, record: RunRecord) -> None:
-        """Persist one run record (append-only, multi-process safe)."""
+    def put(self, record: RunRecord,
+            metrics: Optional[MetricsSnapshot] = None) -> None:
+        """Persist one run record (append-only, multi-process safe).
+
+        ``metrics`` — the run's observability snapshot — is stored beside
+        the record (never inside it: cache keys and digests are computed
+        over the record alone, so a metrics-bearing entry and a bare one
+        are interchangeable for determinism purposes).
+        """
         key = self.key_for(record.scenario, record.seed, record.params)
         entry = {
             "key": key,
             "fingerprint": self.fingerprint(record.scenario),
             "record": record.canonical(),
         }
+        if metrics is not None and not metrics.is_empty():
+            entry["obs"] = metrics.to_dict()
         # The leading newline makes appends self-healing: if the previous
         # write was torn (process killed mid-write, no trailing newline),
         # this write terminates the partial line instead of merging into it.

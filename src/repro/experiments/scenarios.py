@@ -404,3 +404,87 @@ class DNSMeasurementExperiment:
             "vulnerable_pair_fraction": vulnerable_pair_fraction(
                 nameservers, resolvers[: p["pair_sample"]]),
         }
+
+
+#: Transport label -> testbed overrides for the overhead measurement.
+#: ``tcp`` forces truncation so every lookup retries over the stream path;
+#: the encrypted transports are provisioned by their defense.
+TRANSPORT_PROFILES: dict[str, dict[str, Any]] = {
+    "udp": {},
+    "tcp": {"udp_limit": 512},
+    "dot": {"defenses": ("encrypted_transport",)},
+    "doh": {"defenses": ("encrypted_transport_doh",)},
+}
+
+
+@register_scenario
+class TransportOverheadExperiment:
+    """Per-transport time-to-answer of cache-missing pool lookups.
+
+    Not an attack: the measurement behind the report's transport-overhead
+    curve.  Each run builds an attacker-free world, schedules ``queries``
+    cache-bypassing lookups ten simulated seconds apart and measures the
+    simulated time from trigger to cache insertion — making the protocol's
+    round trips visible (UDP one RTT; TCP one handshake more; DoT/DoH one
+    TLS hello exchange on top).  Purely simulated-time figures, so the
+    metrics are deterministic per ``(seed, params)`` and safe to digest.
+    """
+
+    name = "transport_overhead"
+    description = ("time-to-answer of cache-missing lookups per DNS "
+                   "transport (udp/tcp/dot/doh handshake overhead)")
+
+    def default_params(self) -> dict[str, Any]:
+        return {
+            "transport": "udp",
+            "queries": 5,
+            "benign_server_count": 50,
+            "records_per_response": 30,
+        }
+
+    def run(self, seed: int, params: Mapping[str, Any]) -> dict[str, Any]:
+        from ..dns.records import RecordType
+        from .testbed import TestbedConfig, build_testbed
+
+        p = merge_params(self.default_params(), params)
+        transport = p["transport"]
+        try:
+            overrides = TRANSPORT_PROFILES[transport]
+        except KeyError:
+            raise ValueError(f"unknown transport {transport!r}; one of "
+                             f"{sorted(TRANSPORT_PROFILES)}") from None
+        config = TestbedConfig(
+            seed=seed,
+            benign_server_count=p["benign_server_count"],
+            records_per_response=p["records_per_response"],
+            nameserver_udp_payload_limit=overrides.get("udp_limit"),
+            nameserver_transports=("tcp",) if transport == "tcp" else (),
+            defenses=overrides.get("defenses", ()),
+            with_attacker=False,
+        )
+        testbed = build_testbed(config)
+        answer_times: list[float] = []
+        unanswered = 0
+        for index in range(p["queries"]):
+            at = index * 10.0
+            # trigger_lookup bypasses the cache, so every query reaches the
+            # nameserver; inserted_at >= at proves *this* query was answered
+            # (peek would happily serve the previous query's entry).
+            testbed.simulator.schedule_at(
+                at, lambda: testbed.resolver.trigger_lookup("pool.ntp.org"))
+            testbed.simulator.run(until=at + 9.0)
+            entry = testbed.resolver.cache.peek("pool.ntp.org", RecordType.A)
+            if entry is not None and entry.inserted_at >= at:
+                answer_times.append(entry.inserted_at - at)
+            else:
+                unanswered += 1
+        mean = (sum(answer_times) / len(answer_times)) if answer_times else 0.0
+        return {
+            "transport": transport,
+            "queries": p["queries"],
+            "unanswered": unanswered,
+            "mean_time_to_answer": mean,
+            "max_time_to_answer": max(answer_times, default=0.0),
+            # RTT multiples strip the latency constant out of the figure.
+            "round_trips": mean / (2 * config.latency) if mean else 0.0,
+        }

@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..obs import capture as _obs_capture
+from ..obs import current as _obs_current
 from ..obs.metrics import MetricsSnapshot
 from .cache import RunCache
 from .results import ExperimentResult, RunRecord
@@ -143,27 +144,30 @@ def _execute_task_guarded(task: Task, collect_metrics: bool):
 
 
 def _execute_chunk(job: tuple[int, list[Task], bool]
-                   ) -> tuple[int, list[RunRecord], float, Optional[MetricsSnapshot]]:
+                   ) -> tuple[int, list[RunRecord], float,
+                              Optional[list[Optional[MetricsSnapshot]]]]:
     """Worker entry point: run a chunk, tagged with its stream offset.
 
     Returns the chunk's records plus its telemetry: summed task wall-time
-    and (when requested) the chunk's merged metrics snapshot — per-task
-    snapshots are folded here so only one travels back through the pool.
-    A crashing task contributes a :class:`TaskFailure` in its record slot;
-    the rest of the chunk still completes.
+    and (when requested) one metrics snapshot per task, aligned with the
+    record slots — kept per task (not folded) so the parent can persist
+    each task's snapshot beside its cache record and merge the stream in
+    deterministic task order.  A crashing task contributes a
+    :class:`TaskFailure` in its record slot; the rest of the chunk still
+    completes.
     """
     start, tasks, collect_metrics = job
     records: list[RunRecord] = []
     task_seconds = 0.0
-    snapshots: list[MetricsSnapshot] = []
+    snapshots: Optional[list[Optional[MetricsSnapshot]]] = (
+        [] if collect_metrics else None)
     for task in tasks:
         record, duration, snapshot = _execute_task_guarded(task, collect_metrics)
         records.append(record)
         task_seconds += duration
-        if snapshot is not None:
+        if snapshots is not None:
             snapshots.append(snapshot)
-    merged = MetricsSnapshot.merge_all(snapshots) if collect_metrics else None
-    return start, records, task_seconds, merged
+    return start, records, task_seconds, snapshots
 
 
 #: Progress observer: called with ``(done, total)`` as the task stream
@@ -188,10 +192,18 @@ class SweepStats:
     #: Wall-time of the slowest chunk (pooled) or task (inline) — the long
     #: tail that guided chunking exists to keep off the critical path.
     task_seconds_max: float = 0.0
-    #: Merged per-task metrics (``collect_metrics=True`` only): every
-    #: worker's counters folded through the associative/commutative
-    #: snapshot merge, so the fold is order- and worker-count-independent.
+    #: Merged per-task metrics (``collect_metrics=True`` only), folded in
+    #: task-stream order — deterministic across worker counts and chunk
+    #: completion order.  Cache replays contribute their *stored* snapshots
+    #: (persisted beside the record by an earlier metrics-collecting
+    #: sweep), so a warm or resumed sweep reports the same merged metrics
+    #: as the cold run that computed the cells; cells cached by an
+    #: untelemetered sweep replay without a snapshot and are counted in
+    #: :attr:`metrics_missing`.
     metrics: Optional[MetricsSnapshot] = None
+    #: Tasks whose metrics could not be recovered (cache hits written
+    #: without an observability sidecar) in a ``collect_metrics`` sweep.
+    metrics_missing: int = 0
     #: Tasks still failing after every retry (the sweep raised
     #: :class:`SweepError` carrying these stats).
     tasks_failed: int = 0
@@ -205,6 +217,17 @@ class SweepStats:
     #: Whether any part of the stream fell back to inline execution after
     #: a pool loss or a failed pool start.
     degraded_to_inline: bool = False
+    #: Trace events the *ambient* tracer (``REPRO_TRACE=1``) evicted from
+    #: its ring buffer during this sweep — silent observability loss made
+    #: visible.  Pool workers trace into their own processes, so this
+    #: counts the parent's tracer only (inline execution and replay).
+    trace_evictions: int = 0
+    #: Cache writes that failed during this sweep (persistence degraded;
+    #: see :meth:`RunCache._disable_writes`).
+    cache_write_errors: int = 0
+    #: Duplicate cache lines collapsed while loading shards during this
+    #: sweep — a crash-looped earlier writer re-appending the same cells.
+    cache_duplicate_lines: int = 0
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -240,6 +263,16 @@ class SweepStats:
             line += f"; {self.pool_losses} pool loss(es), degraded to inline"
         if self.callback_errors:
             line += f"; {self.callback_errors} progress-callback errors"
+        if self.trace_evictions:
+            line += (f"; {self.trace_evictions} trace events evicted "
+                     f"(ring buffer full)")
+        if self.cache_write_errors:
+            line += (f"; cache degraded: {self.cache_write_errors} write "
+                     f"error(s), persistence disabled")
+        if self.cache_duplicate_lines:
+            line += f"; {self.cache_duplicate_lines} duplicate cache lines collapsed"
+        if self.metrics_missing:
+            line += f"; {self.metrics_missing} cached task(s) without stored metrics"
         return line
 
 
@@ -312,18 +345,32 @@ class SweepScheduler:
         start_time = time.perf_counter()
         stats = SweepStats(tasks_total=len(tasks), workers=self.workers)
         records: list[Optional[RunRecord]] = [None] * len(tasks)
+        snapshots: Optional[list[Optional[MetricsSnapshot]]] = (
+            [None] * len(tasks) if self.collect_metrics else None)
         self._done = 0
         self._total = len(tasks)
         self._stats = stats
+        ambient = _obs_current()
+        evictions_before = ambient.trace.events_evicted if ambient.enabled else 0
+        if self.cache is not None:
+            writes_failed_before = self.cache.stats.write_errors
+            duplicates_before = self.cache.stats.duplicate_lines
 
         pending: list[tuple[int, Task]] = []
         if self.cache is not None:
             for index, task in enumerate(tasks):
-                cached = self.cache.get(*task)
-                if cached is not None:
-                    records[index] = cached
+                if snapshots is not None:
+                    found = self.cache.get_entry(*task)
+                    if found is not None:
+                        records[index], snapshots[index] = found
+                    else:
+                        pending.append((index, task))
                 else:
-                    pending.append((index, task))
+                    cached = self.cache.get(*task)
+                    if cached is not None:
+                        records[index] = cached
+                    else:
+                        pending.append((index, task))
             stats.cache_hits = len(tasks) - len(pending)
             self._report_progress(stats.cache_hits)
         else:
@@ -332,12 +379,28 @@ class SweepScheduler:
         stats.executed = len(pending)
         failures: list[TaskFailure] = []
         if pending:
-            computed = self._execute(pending, stats)
-            for (index, _), record in zip(pending, computed):
+            computed, computed_snaps = self._execute(pending, stats)
+            for position, ((index, _), record) in enumerate(zip(pending, computed)):
                 if isinstance(record, TaskFailure):
                     failures.append(record)
                 records[index] = record
+                if snapshots is not None and computed_snaps is not None:
+                    snapshots[index] = computed_snaps[position]
 
+        if snapshots is not None:
+            # Task-stream order: the fold is deterministic no matter which
+            # workers finished first or which cells replayed from the cache.
+            stats.metrics = MetricsSnapshot.merge_all(snapshots)
+            stats.metrics_missing = sum(
+                1 for index, snap in enumerate(snapshots)
+                if snap is None and not isinstance(records[index], TaskFailure))
+        if ambient.enabled:
+            stats.trace_evictions = ambient.trace.events_evicted - evictions_before
+        if self.cache is not None:
+            stats.cache_write_errors = (self.cache.stats.write_errors
+                                        - writes_failed_before)
+            stats.cache_duplicate_lines = (self.cache.stats.duplicate_lines
+                                           - duplicates_before)
         stats.elapsed_seconds = time.perf_counter() - start_time
         if failures:
             stats.tasks_failed = len(failures)
@@ -353,50 +416,58 @@ class SweepScheduler:
                 if self._stats is not None:
                     self._stats.callback_errors += 1
 
-    def _persist(self, records: Sequence[RunRecord]) -> None:
+    def _persist(self, records: Sequence[RunRecord],
+                 snapshots: Optional[Sequence[Optional[MetricsSnapshot]]] = None
+                 ) -> None:
         """Write freshly-computed records to the cache as they arrive.
 
         Called from the execution loops (per task inline, per completed chunk
         pooled) rather than after the whole stream, so an interrupted sweep
         still resumes from everything it finished — the append-only store
-        tolerates the partial run.  :class:`TaskFailure` markers are never
-        persisted (a later fixed re-run must recompute those cells).
+        tolerates the partial run.  Each record's metrics snapshot (when
+        collected) is persisted beside it in the same cache line, so the
+        resumed sweep replays the telemetry too.  :class:`TaskFailure`
+        markers are never persisted (a later fixed re-run must recompute
+        those cells).
         """
         if self.cache is not None:
-            for record in records:
+            for position, record in enumerate(records):
                 if not isinstance(record, TaskFailure):
-                    self.cache.put(record)
+                    snapshot = (snapshots[position]
+                                if snapshots is not None else None)
+                    self.cache.put(record, metrics=snapshot)
 
-    def _execute(self, pending: list[tuple[int, Task]],
-                 stats: SweepStats) -> list[RunRecord]:
+    def _execute(self, pending: list[tuple[int, Task]], stats: SweepStats
+                 ) -> tuple[list[RunRecord],
+                            Optional[list[Optional[MetricsSnapshot]]]]:
         """Run the pending tasks, preserving their given order in the result.
 
-        The returned list may contain :class:`TaskFailure` markers for tasks
-        that still failed after the retry pass; the caller decides whether
-        that is fatal.
+        Returns the records plus (when collecting metrics) one snapshot per
+        task in the same order.  The record list may contain
+        :class:`TaskFailure` markers for tasks that still failed after the
+        retry pass; the caller decides whether that is fatal.
         """
         tasks = [task for _, task in pending]
+        snapshots: Optional[list[Optional[MetricsSnapshot]]] = (
+            [None] * len(tasks) if self.collect_metrics else None)
         # A pool only pays off when there are more tasks than workers;
         # otherwise fork/teardown costs more than the tasks themselves.
-        snapshots: list[MetricsSnapshot] = []
         if self.workers == 1 or len(tasks) <= self.workers:
             stats.executed_inline = True
             stats.chunks = len(tasks)
             results_inline: list[RunRecord] = []
-            for task in tasks:
+            for position, task in enumerate(tasks):
                 record, duration, snapshot = _execute_task_guarded(
                     task, self.collect_metrics)
                 stats.task_seconds_total += duration
                 stats.task_seconds_max = max(stats.task_seconds_max, duration)
-                if snapshot is not None:
-                    snapshots.append(snapshot)
-                self._persist((record,))
+                if snapshots is not None:
+                    snapshots[position] = snapshot
+                self._persist((record,), (snapshot,))
                 results_inline.append(record)
                 self._report_progress(1)
             self._retry_failures(results_inline, stats, snapshots)
-            if self.collect_metrics:
-                stats.metrics = MetricsSnapshot.merge_all(snapshots)
-            return results_inline
+            return results_inline, snapshots
 
         jobs: list[tuple[int, list[Task], bool]] = []
         offset = 0
@@ -409,13 +480,13 @@ class SweepScheduler:
         starts = {start: slot for slot, (start, _, _) in enumerate(jobs)}
 
         def consume(result) -> None:
-            start, chunk_records, task_seconds, snapshot = result
-            self._persist(chunk_records)
+            start, chunk_records, task_seconds, chunk_snapshots = result
+            self._persist(chunk_records, chunk_snapshots)
             results[starts[start]] = chunk_records
             stats.task_seconds_total += task_seconds
             stats.task_seconds_max = max(stats.task_seconds_max, task_seconds)
-            if snapshot is not None:
-                snapshots.append(snapshot)
+            if snapshots is not None and chunk_snapshots is not None:
+                snapshots[start:start + len(chunk_records)] = chunk_snapshots
             self._report_progress(len(chunk_records))
 
         pool = None
@@ -465,21 +536,17 @@ class SweepScheduler:
             assert chunk_records is not None
             flattened.extend(chunk_records)
         self._retry_failures(flattened, stats, snapshots)
-        if self.collect_metrics:
-            # Merge order does not matter: the snapshot merge is associative
-            # and commutative (property-tested), so the folded telemetry is
-            # identical no matter which workers finished first.
-            stats.metrics = MetricsSnapshot.merge_all(snapshots)
-        return flattened
+        return flattened, snapshots
 
     def _retry_failures(self, results: list, stats: SweepStats,
-                        snapshots: list[MetricsSnapshot]) -> None:
+                        snapshots: Optional[list[Optional[MetricsSnapshot]]]
+                        ) -> None:
         """Re-attempt every :class:`TaskFailure` in ``results``, in place.
 
         Retries run inline in the parent with exponential backoff between
-        attempts; a recovered task's record is persisted exactly as a
-        first-try success would have been.  Markers that survive all
-        attempts stay in the list for the caller to report.
+        attempts; a recovered task's record (and metrics snapshot) is
+        persisted exactly as a first-try success would have been.  Markers
+        that survive all attempts stay in the list for the caller to report.
         """
         if self.task_retries == 0:
             return
@@ -494,13 +561,13 @@ class SweepScheduler:
                 retried, duration, snapshot = _execute_task_guarded(
                     failure.task, self.collect_metrics)
                 stats.task_seconds_total += duration
-                if snapshot is not None:
-                    snapshots.append(snapshot)
                 if isinstance(retried, TaskFailure):
                     failure = TaskFailure(failure.task, retried.error,
                                           attempts=failure.attempts + 1)
                     continue
-                self._persist((retried,))
+                if snapshots is not None:
+                    snapshots[index] = snapshot
+                self._persist((retried,), (snapshot,))
                 results[index] = retried
                 break
             else:
