@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from pathlib import Path
 
 from conftest import emit
 
@@ -129,7 +130,7 @@ def test_encrypted_transport_gates(benchmark):
         "workers_identical": sequential.digest() == parallel.digest(),
     }
     json_path = os.environ.get("TRANSPORT_JSON", "BENCH_encrypted_transport.json")
-    with open(json_path, "w") as handle:
+    with Path(json_path).open("w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
 
     emit("E-transport — encrypted DNS transports: handshake overhead, "

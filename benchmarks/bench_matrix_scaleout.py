@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from pathlib import Path
 
 from conftest import emit, usable_cpus
 
@@ -110,7 +111,7 @@ def test_matrix_scaleout_gates(benchmark, tmp_path):
         "digests_identical": len(set(digests.values())) == 1,
     }
     json_path = os.environ.get("SCALEOUT_JSON", "BENCH_matrix_scaleout.json")
-    with open(json_path, "w") as handle:
+    with Path(json_path).open("w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
 
     emit("E-scaleout — shared scheduler + persistent run cache on the "

@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from pathlib import Path
 
 import pytest
 from conftest import emit
@@ -115,7 +116,7 @@ def test_population_scale(benchmark):
         },
     }
     json_path = os.environ.get("POPULATION_JSON", "BENCH_population_scale.json")
-    with open(json_path, "w") as handle:
+    with Path(json_path).open("w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
 
     emit("E-population — vectorized fleet vs packet baseline", [

@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from pathlib import Path
 
 from conftest import emit
 
@@ -156,7 +157,7 @@ def test_serving_throughput_gates(benchmark):
         "workers_identical": sequential.digest() == parallel.digest(),
     }
     json_path = os.environ.get("SERVING_JSON", "BENCH_serving_throughput.json")
-    with open(json_path, "w") as handle:
+    with Path(json_path).open("w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
 
     emit("E-serving — high-QPS serving layer: connection reuse, 0-RTT, "

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import contextlib
 from collections.abc import Iterable
+from pathlib import Path
 
 
 def emit(title: str, lines: Iterable[str]) -> None:
@@ -29,14 +30,14 @@ def cgroup_cpu_quota() -> float:
     alone would then fail for pure timing reasons.
     """
     with contextlib.suppress(OSError, ValueError):  # cgroup v2
-        with open("/sys/fs/cgroup/cpu.max") as handle:
+        with Path("/sys/fs/cgroup/cpu.max").open() as handle:
             quota, period = handle.read().split()[:2]
         if quota != "max":
             return float(quota) / float(period)
     with contextlib.suppress(OSError, ValueError):  # cgroup v1
-        with open("/sys/fs/cgroup/cpu/cpu.cfs_quota_us") as handle:
+        with Path("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").open() as handle:
             quota = int(handle.read())
-        with open("/sys/fs/cgroup/cpu/cpu.cfs_period_us") as handle:
+        with Path("/sys/fs/cgroup/cpu/cpu.cfs_period_us").open() as handle:
             period = int(handle.read())
         if quota > 0:
             return quota / period

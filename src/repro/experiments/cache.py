@@ -332,7 +332,7 @@ class RunCache:
                 payload = b"".join(canonical_json(entry).encode() + b"\n"
                                    for entry in kept.values())
                 tmp_path.write_bytes(payload)
-                os.replace(tmp_path, shard_path)
+                tmp_path.replace(shard_path)
                 self._shards[shard] = kept
         self.stats.invalidated += removed
         return removed

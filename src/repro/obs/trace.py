@@ -32,6 +32,7 @@ from collections import deque
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 
 #: Default ring-buffer capacity (events).
 DEFAULT_CAPACITY = 65536
@@ -166,7 +167,7 @@ class Tracer:
         return "\n".join(event.to_json() for event in self._events)
 
     def write_jsonl(self, path: str) -> None:
-        with open(path, "w") as handle:
+        with Path(path).open("w") as handle:
             for event in self._events:
                 handle.write(event.to_json() + "\n")
 
@@ -175,7 +176,7 @@ class Tracer:
         return chrome_trace(self._events, process_name=process_name)
 
     def write_chrome_trace(self, path: str, process_name: str = "repro") -> None:
-        with open(path, "w") as handle:
+        with Path(path).open("w") as handle:
             json.dump(self.chrome_trace(process_name=process_name), handle)
 
 

@@ -156,7 +156,7 @@ def test_foreign_garbage_lines_are_skipped(cache, tmp_path):
     record = make_record(seed=11)
     cache.put(record)
     for shard in (tmp_path / "store").glob("runs-*.jsonl"):
-        with open(shard, "ab") as handle:
+        with shard.open("ab") as handle:
             handle.write(b"not json at all\n")
             handle.write(b'{"valid_json": "wrong shape"}\n')
     damaged = RunCache(tmp_path / "store")
@@ -171,7 +171,7 @@ def test_duplicated_lines_collapse_to_a_single_entry(cache, tmp_path):
     cache.put(record)
     (shard_file,) = (tmp_path / "store").glob("runs-*.jsonl")
     line = [raw for raw in shard_file.read_bytes().splitlines() if raw.strip()][0]
-    with open(shard_file, "ab") as handle:
+    with shard_file.open("ab") as handle:
         handle.write(line + b"\n" + line + b"\n")
     reopened = RunCache(tmp_path / "store")
     replayed = reopened.get("synthetic", 12, record.params)
